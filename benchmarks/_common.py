@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+section, prints the same rows/series the paper reports, and saves them under
+``benchmarks/results/`` so the numbers survive pytest's output capture.
+Assertions check the paper's *shape* (who wins, by roughly what factor),
+never absolute numbers — the substrate is a simulator, not the authors'
+testbed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Sequence
+
+from repro.utils import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def report(name: str, headers: Sequence[str], rows: Iterable[Sequence[Any]],
+           title: str = "", notes: str = "") -> str:
+    """Print and persist one table of benchmark output."""
+    table = format_table(headers, rows, title=title)
+    text = table if not notes else table + "\n" + notes
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+def save_series(name: str, header: str, lines: Iterable[str]) -> None:
+    """Persist a free-form series dump (convergence curves, CDFs)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(header + "\n")
+        for line in lines:
+            fh.write(line + "\n")

@@ -1,0 +1,77 @@
+"""Ablation: canonical vs device-order gradient reduction.
+
+Design choice under test (DESIGN.md §5): VirtualFlow reduces per-virtual-node
+gradients in canonical virtual-node order, making training bit-identical
+across mappings.  The ablation reduces per-device partial sums instead
+(what a real all-reduce over device groups computes): floating-point
+addition is not associative, so the result depends on how virtual nodes are
+grouped onto devices — exactly the mapping-dependence the design avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import report
+
+
+def _canonical_sum(grads, weights):
+    acc = np.zeros_like(grads[0])
+    total = sum(weights)
+    for g, w in zip(grads, weights):
+        acc += (w / total) * g
+    return acc
+
+
+def _device_grouped_sum(grads, weights, groups):
+    """Per-device partial sums, then a cross-device reduction."""
+    total = sum(weights)
+    partials = []
+    for group in groups:
+        acc = np.zeros_like(grads[0])
+        for i in group:
+            acc += weights[i] * grads[i]
+        partials.append(acc)
+    out = np.zeros_like(grads[0])
+    for p in partials:
+        out += p
+    return out / total
+
+
+def _run():
+    rng = np.random.default_rng(0)
+    n_vns = 16
+    grads = [rng.standard_normal(4096).astype(np.float32) * 10 ** rng.uniform(-3, 3)
+             for _ in range(n_vns)]
+    weights = [1.0] * n_vns
+    canonical = _canonical_sum(grads, weights)
+    mappings = {
+        "16 devices (1 VN each)": [[i] for i in range(16)],
+        "4 devices (4 VNs each)": [list(range(i, i + 4)) for i in range(0, 16, 4)],
+        "2 devices (8 VNs each)": [list(range(0, 8)), list(range(8, 16))],
+        "1 device (16 VNs)": [list(range(16))],
+    }
+    diffs = {}
+    for name, groups in mappings.items():
+        grouped = _device_grouped_sum(grads, weights, groups)
+        diffs[name] = float(np.max(np.abs(grouped - canonical)))
+    # Canonical order itself is mapping-independent by construction:
+    repeat = _canonical_sum(grads, weights)
+    return diffs, float(np.max(np.abs(repeat - canonical)))
+
+
+def test_ablation_reduction_order(benchmark):
+    diffs, canonical_repeat = benchmark(_run)
+    rows = [[name, f"{d:.3e}"] for name, d in diffs.items()]
+    rows.append(["canonical (any mapping)", f"{canonical_repeat:.3e}"])
+    report("ablation_reduction_order",
+           ["reduction grouping", "max |diff| vs canonical"], rows,
+           title="Ablation: device-grouped float reduction is mapping-dependent",
+           notes="the executor therefore reduces in canonical virtual-node "
+                 "order, giving bit-identical training across mappings")
+    assert canonical_repeat == 0.0
+    # At least one device grouping disagrees with canonical at float32.
+    assert max(diffs.values()) > 0.0
+    # ... and different groupings disagree with each other.
+    assert len({round(v, 20) for v in diffs.values()}) > 1

@@ -1,0 +1,77 @@
+"""Figure 2: virtual nodes unlock a better batch size on one GPU.
+
+Paper setup: BERT-LARGE fine-tuned on RTE on a single RTX 2080 Ti.  Vanilla
+TensorFlow can only fit batch size 4; VirtualFlow reaches batch 16 via 4
+virtual nodes and lands at a higher final accuracy (+7 points in the paper).
+
+The RTE stand-in is a noisy, weak-signal text task (RTE is the hardest GLUE
+task, with ~2.5k examples and near-chance baselines).  With the once-tuned
+learning rate, a batch of 4 is visibly unstable, while batch 16 — only
+reachable through virtual nodes on this device — converges far better.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import report, save_series
+from repro import TrainerConfig, VirtualFlowTrainer
+from repro.data.datasets import synthetic_text_dataset
+from repro.framework import get_workload
+from repro.hardware import get_spec
+
+EPOCHS = 10
+SEED = 17
+LR = 5e-3  # tuned once; too hot for batch 4, right for batch 16
+
+
+def _rte_dataset():
+    return synthetic_text_dataset(n=1024, seq_len=12, vocab_size=64,
+                                  num_classes=2, seed=SEED, signal_prob=0.4,
+                                  label_noise=0.25, name="rte_hard")
+
+
+def _train(batch: int, vns: int):
+    trainer = VirtualFlowTrainer(
+        TrainerConfig(workload="bert_large_glue", global_batch_size=batch,
+                      num_virtual_nodes=vns, device_type="RTX2080Ti",
+                      num_devices=1, dataset_size=1024, seed=SEED,
+                      learning_rate=LR),
+        dataset=_rte_dataset(),
+    )
+    trainer.train(epochs=EPOCHS)
+    return trainer
+
+
+def _final(trainer) -> float:
+    """Mean of the last three epochs (smooths single-epoch luck)."""
+    return float(np.mean([h.val_accuracy for h in trainer.history[-3:]]))
+
+
+def _run():
+    wl = get_workload("bert_large_glue")
+    max_batch = wl.footprint.max_batch(get_spec("RTX2080Ti").memory_bytes,
+                                       wl.optimizer_slots, grad_buffer=False)
+    tf = _train(batch=max_batch, vns=1)
+    vf = _train(batch=16, vns=4)
+    return max_batch, tf, vf
+
+
+def test_fig02_larger_batch_wins_on_one_gpu(benchmark):
+    max_batch, tf, vf = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert max_batch == 4  # calibration anchor (Fig 18)
+    rows = [
+        [f"TensorFlow (BS {max_batch})", f"{_final(tf):.4f}"],
+        ["VirtualFlow (BS 16, 4 VNs)", f"{_final(vf):.4f}"],
+    ]
+    report("fig02_rte_large_batch", ["configuration", "final val acc"], rows,
+           title="Fig 2: BERT-LARGE/RTE fine-tuning on a single RTX 2080 Ti",
+           notes="paper: batch 16 via virtual nodes beats batch 4 by ~7 points")
+    save_series("fig02_curves", "epoch tf_bs4 vf_bs16", [
+        f"{i} {a.val_accuracy:.4f} {b.val_accuracy:.4f}"
+        for i, (a, b) in enumerate(zip(tf.history, vf.history))
+    ])
+    # Paper shape: the previously inaccessible batch size reaches a
+    # meaningfully higher accuracy on the same hardware.
+    assert _final(vf) > _final(tf) + 0.05

@@ -1,0 +1,81 @@
+"""Figure 10: elastic scheduling with three jobs on 4 GPUs.
+
+Paper: Job 0 (BERT, 4 GPUs, pri 1), Job 1 (ResNet-56, 2 GPUs, pri 5),
+Job 2 (BERT, 4 GPUs, pri 10) arrive in order.  The elastic WFS scheduler
+cuts the makespan by 38% and the high-priority JCT by 45% versus a static
+priority scheduler, while every job converges to the same accuracy.
+
+The accuracy-preservation claim is verified by *really training* a
+miniature job under the elastic scheduler's resize schedule and comparing
+with an uninterrupted run — VirtualFlow makes them bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import report, save_series
+from repro import TrainerConfig, VirtualFlowTrainer
+from repro.elastic import (
+    ClusterSimulator,
+    ElasticWFSScheduler,
+    StaticPriorityScheduler,
+    compute_metrics,
+    three_job_trace,
+)
+from repro.utils import format_duration
+
+
+def _simulate():
+    trace = three_job_trace()
+    wfs = compute_metrics(ClusterSimulator(4, ElasticWFSScheduler()).run(trace))
+    pri = compute_metrics(ClusterSimulator(4, StaticPriorityScheduler()).run(trace))
+    return wfs, pri
+
+
+def _accuracy_replay():
+    """Train one miniature job with and without mid-training resizes."""
+    def make():
+        return VirtualFlowTrainer(TrainerConfig(
+            workload="resnet56_cifar10", global_batch_size=64,
+            num_virtual_nodes=8, num_devices=4, dataset_size=512, seed=2))
+
+    elastic = make()
+    for devices in (2, 4, 1):  # the kind of schedule the WFS scheduler makes
+        elastic.train_epoch()
+        elastic.resize(devices)
+    elastic.train_epoch()
+    steady = make()
+    steady.train(epochs=4)
+    return elastic, steady
+
+
+def _run():
+    return _simulate(), _accuracy_replay()
+
+
+def test_fig10_elastic_three_jobs(benchmark):
+    (wfs, pri), (elastic, steady) = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for m in (wfs, pri):
+        rows.append([m.scheduler_name, format_duration(m.makespan)] +
+                    [format_duration(m.jcts[j]) for j in (0, 1, 2)] +
+                    [f"{m.utilization:.1%}"])
+    makespan_cut = 1 - wfs.makespan / pri.makespan
+    jct2_cut = 1 - wfs.jcts[2] / pri.jcts[2]
+    report("fig10_elastic_3jobs",
+           ["scheduler", "makespan", "JCT j0", "JCT j1", "JCT j2 (hi pri)", "util"],
+           rows, title="Fig 10: 3-job trace on 4 GPUs",
+           notes=(f"makespan -{makespan_cut:.1%} (paper -38%), "
+                  f"high-pri JCT -{jct2_cut:.1%} (paper -45%); accuracy "
+                  f"preserved bit-exactly under resizes"))
+    # Shape: elastic scheduling helps both cluster- and job-level metrics.
+    assert makespan_cut > 0.2
+    assert jct2_cut > 0.1
+    assert wfs.utilization > pri.utilization
+    # Fig 10c: accuracies unchanged by elasticity — ours are bit-identical.
+    pe = elastic.executor.model.parameters()
+    ps = steady.executor.model.parameters()
+    assert all(np.array_equal(pe[k], ps[k]) for k in pe)
+    assert elastic.evaluate() == steady.evaluate()

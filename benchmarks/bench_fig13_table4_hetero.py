@@ -1,0 +1,129 @@
+"""Table 4 + Figure 13: heterogeneous training throughput and accuracy.
+
+Paper configurations for ResNet-50/ImageNet at batch 8192 (BS/GPU, VN/GPU):
+
+  H1a: 2xV100 2048/8  + 2xP100 2048/8
+  H1b: 2xV100 3072/16 + 2xP100 1024/4
+  H1c: 2xV100 3072/32 + 2xP100 1024/4
+  H2a-d: 2xV100 3072/16 + 4xP100 512/{2,4,8,16}
+  H3:  2xV100 2048/8  + 8xP100 512/2
+
+Fig 13: H3 beats V100-only by 42.3% and P100-only by 52.4%, while reaching
+the same 76% accuracy.  The accuracy claim is verified structurally: our
+weighted synchronization makes heterogeneous runs bit-identical to
+homogeneous ones (asserted in the miniature training check below).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import report
+from repro import TrainerConfig, VirtualFlowTrainer
+from repro.core import ExecutionPlan, Mapping, VirtualNodeSet
+from repro.framework import get_workload
+from repro.hardware import Cluster
+from repro.hetero import HeteroAssignment, TypeAssignment, materialize
+
+TABLE4 = {
+    "H1a": [("V100", 2, 2048, 8), ("P100", 2, 2048, 8)],
+    "H1b": [("V100", 2, 3072, 16), ("P100", 2, 1024, 4)],
+    "H1c": [("V100", 2, 3072, 32), ("P100", 2, 1024, 4)],
+    "H2a": [("V100", 2, 3072, 16), ("P100", 4, 512, 2)],
+    "H2b": [("V100", 2, 3072, 16), ("P100", 4, 512, 4)],
+    "H2c": [("V100", 2, 3072, 16), ("P100", 4, 512, 8)],
+    "H2d": [("V100", 2, 3072, 16), ("P100", 4, 512, 16)],
+    "H3": [("V100", 2, 2048, 8), ("P100", 8, 512, 2)],
+}
+HOMOGENEOUS = {
+    "2 V100 only": ("V100", 2),
+    "2 P100 only": ("P100", 2),
+    "4 P100 only": ("P100", 4),
+    "8 P100 only": ("P100", 8),
+}
+BATCH = 8192
+
+
+def _hetero_throughput(config) -> float:
+    assignment = HeteroAssignment(
+        assignments=tuple(TypeAssignment(t, n, bs, vn) for t, n, bs, vn in config),
+        predicted_step_time=1.0, predicted_throughput=1.0)
+    _, _, mapping = materialize(assignment)
+    return ExecutionPlan(get_workload("resnet50_imagenet"), mapping).throughput()
+
+
+def _homogeneous_throughput(device_type: str, n: int) -> float:
+    wl = get_workload("resnet50_imagenet")
+    per_device = BATCH // n
+    # Smallest wave split that fits device memory, as the solver would pick.
+    from repro.hetero.solver import _min_vn_count
+    from repro.hardware import get_spec
+    from repro.utils.validation import power_of_two_like_sizes
+
+    cap = wl.footprint.max_batch(get_spec(device_type).memory_bytes,
+                                 wl.optimizer_slots)
+    max_wave = power_of_two_like_sizes(cap)[-1]
+    v = _min_vn_count(per_device, max_wave)
+    vn_set = VirtualNodeSet.even(BATCH, n * v)
+    mapping = Mapping.even(vn_set, Cluster.homogeneous(device_type, n))
+    return ExecutionPlan(wl, mapping).throughput()
+
+
+def _mini_accuracy_check():
+    """Heterogeneous mini-run vs single-device run: bit-identical (Fig 13 acc)."""
+    cluster = Cluster.from_counts({"V100": 1, "P100": 1})
+    vn_set = VirtualNodeSet.uneven([24, 8])
+    mapping = Mapping.by_counts(vn_set, cluster, {0: 1, 1: 1})  # P100 id 0
+    hetero = VirtualFlowTrainer(
+        TrainerConfig(workload="resnet56_cifar10", global_batch_size=32,
+                      num_virtual_nodes=2, vn_sizes=[24, 8], dataset_size=512,
+                      seed=4),
+        cluster=cluster, mapping=mapping)
+    homog = VirtualFlowTrainer(TrainerConfig(
+        workload="resnet56_cifar10", global_batch_size=32, num_virtual_nodes=2,
+        vn_sizes=[24, 8], num_devices=1, dataset_size=512, seed=4))
+    hetero.train(epochs=2)
+    homog.train(epochs=2)
+    return hetero, homog
+
+
+def _run():
+    hetero = {name: _hetero_throughput(cfg) for name, cfg in TABLE4.items()}
+    homog = {name: _homogeneous_throughput(t, n)
+             for name, (t, n) in HOMOGENEOUS.items()}
+    return hetero, homog, _mini_accuracy_check()
+
+
+def test_fig13_table4_hetero_throughput(benchmark):
+    hetero, homog, (mini_het, mini_hom) = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+    v100_only = homog["2 V100 only"]
+    rows = [[name, f"{tput:.0f}", f"{tput / v100_only:.2f}x"]
+            for name, tput in {**homog, **hetero}.items()]
+    report("fig13_table4_hetero", ["configuration", "img/s", "vs 2xV100"], rows,
+           title="Fig 13 / Table 4: heterogeneous training throughput "
+                 f"(ResNet-50, batch {BATCH})",
+           notes="paper: H3 +42.3% vs V100-only, +52.4% vs 8xP100-only")
+    # Global batch is conserved by every Table 4 configuration.
+    for cfg in TABLE4.values():
+        assert sum(n * bs for _, n, bs, _ in cfg) == BATCH
+    # Paper shapes:
+    # (1) H3 is the best heterogeneous configuration ...
+    assert hetero["H3"] == max(hetero.values())
+    # (2) ... beating V100-only by a Fig 13-scale factor ...
+    speedup = hetero["H3"] / v100_only - 1
+    # Our simulator scales heterogeneous sync more optimistically than the
+    # real testbed (no cross-type jitter), so the ceiling is looser.
+    assert 0.25 < speedup < 1.1  # paper: 42.3%
+    # (3) ... and the 8-P100-only configuration too.
+    assert hetero["H3"] > homog["8 P100 only"] * 1.2
+    # (4) H2 > H1: more P100s balance better.
+    assert max(hetero[k] for k in ("H2a", "H2b", "H2c", "H2d")) > \
+        max(hetero[k] for k in ("H1a", "H1b", "H1c"))
+    # (5) The even split H1a is the worst of the H1 group (Fig 7's lesson).
+    assert hetero["H1a"] <= min(hetero["H1b"], hetero["H1c"]) * 1.001
+    # Fig 13 accuracy: heterogeneous == homogeneous, bit-exactly.
+    ph = mini_het.executor.model.parameters()
+    pm = mini_hom.executor.model.parameters()
+    assert all(np.array_equal(ph[k], pm[k]) for k in ph)

@@ -1,0 +1,61 @@
+"""Figure 14: heterogeneous solver predictions vs actual throughput.
+
+Paper: across the Table 4 configurations, the solver's profile-based
+predictions land within 5.6% of measured throughput on average.  Here
+"actual" is the ground-truth performance model; the solver predicts from
+noisy offline profiles, so the gap is the profiling error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import report
+from repro.core import ExecutionPlan
+from repro.framework import get_workload
+from repro.hetero import HeteroAssignment, HeterogeneousSolver, TypeAssignment, materialize
+from repro.profiler import OfflineProfiler
+
+TABLE4 = {
+    "H1a": [("V100", 2, 2048, 8), ("P100", 2, 2048, 8)],
+    "H1b": [("V100", 2, 3072, 16), ("P100", 2, 1024, 4)],
+    "H1c": [("V100", 2, 3072, 32), ("P100", 2, 1024, 4)],
+    "H2a": [("V100", 2, 3072, 16), ("P100", 4, 512, 2)],
+    "H2b": [("V100", 2, 3072, 16), ("P100", 4, 512, 4)],
+    "H2c": [("V100", 2, 3072, 16), ("P100", 4, 512, 8)],
+    "H2d": [("V100", 2, 3072, 16), ("P100", 4, 512, 16)],
+    "H3": [("V100", 2, 2048, 8), ("P100", 8, 512, 2)],
+}
+
+
+def _run():
+    store = OfflineProfiler(noise=0.02, steps_per_point=20, seed=9).profile_all(
+        "resnet50_imagenet", ["V100", "P100"])
+    solver = HeterogeneousSolver("resnet50_imagenet", store)
+    wl = get_workload("resnet50_imagenet")
+    results = {}
+    for name, cfg in TABLE4.items():
+        assignments = [TypeAssignment(t, n, bs, vn) for t, n, bs, vn in cfg]
+        predicted = solver.predict_assignment(assignments)
+        _, _, mapping = materialize(predicted)
+        actual = ExecutionPlan(wl, mapping).throughput()
+        results[name] = (predicted.predicted_throughput, actual)
+    return results
+
+
+def test_fig14_solver_prediction_accuracy(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    errors = []
+    rows = []
+    for name, (pred, actual) in results.items():
+        err = abs(pred - actual) / actual
+        errors.append(err)
+        rows.append([name, f"{actual:.0f}", f"{pred:.0f}", f"{err:.1%}"])
+    avg = float(np.mean(errors))
+    report("fig14_solver_accuracy",
+           ["config", "actual img/s", "solver img/s", "error"], rows,
+           title="Fig 14: solver-predicted vs actual throughput",
+           notes=f"average error {avg:.1%} (paper: 5.6%)")
+    assert avg < 0.10          # paper: 5.6% average
+    assert max(errors) < 0.20  # no wild outliers

@@ -1,0 +1,68 @@
+"""Figures 15 + 16: extending Gavel with heterogeneous allocations.
+
+Paper (simulation): on a 4xV100 + 8xP100 + 16xK80 cluster running the LAS
+policy in 6-minute rounds, allowing heterogeneous allocations cuts average
+JCT by up to 29.2% at low load, with the benefit gracefully vanishing at
+high arrival rates.  Figure 16 shows an example trace where a job gains 5
+idle P100s on top of its 16 K80s (+33.7% throughput).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import report, save_series
+from repro.elastic.trace import generate_trace
+from repro.sched import GavelSimulator
+
+CLUSTER = {"V100": 4, "P100": 8, "K80": 16}
+RATES = (2, 4, 6, 8, 10, 12)
+NUM_JOBS = 14
+SEED = 2
+
+
+def _run():
+    results = {}
+    example_result = None
+    for rate in RATES:
+        trace = generate_trace(NUM_JOBS, jobs_per_hour=rate, seed=SEED,
+                               target_runtime=2400)
+        base = GavelSimulator(CLUSTER, heterogeneous=False).run(trace)
+        ht = GavelSimulator(CLUSTER, heterogeneous=True).run(trace)
+        results[rate] = (base.avg_jct(), ht.avg_jct())
+        if rate == 8:
+            example_result = ht  # Fig 16 uses ~8 jobs/hour
+    return results, example_result
+
+
+def test_fig15_16_gavel_heterogeneous(benchmark):
+    results, example = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    reductions = {}
+    for rate, (base, ht) in results.items():
+        red = (base - ht) / base
+        reductions[rate] = red
+        rows.append([rate, f"{base:.0f}", f"{ht:.0f}", f"{red:+.1%}"])
+    report("fig15_gavel_jct", ["jobs/hour", "Gavel JCT", "Gavel+HT JCT", "reduction"],
+           rows, title="Fig 15: average JCT vs arrival rate "
+                       "(4xV100 + 8xP100 + 16xK80, LAS, 6-min rounds)",
+           notes="paper: up to -29.2%, diminishing at high load")
+    # Fig 16-style allocation trace for one run.
+    lines = []
+    for job in example.jobs.values():
+        for t, alloc in job.allocation_log:
+            if alloc:
+                kinds = "+".join(f"{n}x{k}" for k, n in sorted(alloc.items()))
+                tag = "HETERO" if len(alloc) > 1 else "homog"
+                lines.append(f"t={t:7.0f}s job={job.job_id:2d} {kinds} [{tag}]")
+    save_series("fig16_example_trace", "round-by-round allocations", lines)
+
+    # Paper shapes:
+    best = max(reductions.values())
+    assert best > 0.10                       # meaningful gains exist
+    low_load = max(reductions[r] for r in RATES[:3])
+    high_load = reductions[RATES[-1]]
+    assert low_load > high_load              # benefit diminishes with load
+    assert high_load > -0.05                 # graceful fallback, never much worse
+    # Fig 16: heterogeneous rounds actually occur in the example trace.
+    assert example.hetero_round_fraction() > 0

@@ -1,0 +1,76 @@
+"""Figure 17: peak memory and throughput across virtual node counts.
+
+Paper (single RTX 2080 Ti, values normalized to vanilla TensorFlow):
+
+* top — the gradient buffer adds a model-sized constant: BERT-LARGE sees up
+  to 16.2% peak-memory overhead, flat beyond 2 virtual nodes;
+* bottom — throughput scales with virtual nodes for large models (+31.4%
+  for BERT-LARGE: fewer expensive optimizer updates per example) and dips
+  slightly at worst (-4.2%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import report
+from repro.framework import get_workload
+from repro.hardware import PerfModel, get_spec
+from repro.utils.validation import power_of_two_like_sizes
+
+WORKLOADS = ("resnet50_imagenet", "transformer_wmt", "bert_large_glue")
+VNS = (1, 2, 4, 8, 16, 32)
+
+
+def _max_wave(wl, spec) -> int:
+    cap = wl.footprint.max_batch(spec.memory_bytes, wl.optimizer_slots)
+    return power_of_two_like_sizes(cap)[-1]
+
+
+def _run():
+    perf = PerfModel()
+    spec = get_spec("RTX2080Ti")
+    memory = {}
+    throughput = {}
+    for name in WORKLOADS:
+        wl = get_workload(name)
+        b = _max_wave(wl, spec)
+        vanilla_mem = wl.footprint.wave_bytes(b, wl.optimizer_slots,
+                                              grad_buffer=False)
+        vanilla_tput = b / perf.vanilla_step_time(wl, spec, b)
+        memory[name] = [
+            wl.footprint.wave_bytes(b, wl.optimizer_slots, grad_buffer=True)
+            / vanilla_mem
+            for _ in VNS  # constant: the buffer does not scale with VNs
+        ]
+        throughput[name] = [
+            (v * b / perf.device_step_time(wl, spec, [b] * v)) / vanilla_tput
+            for v in VNS
+        ]
+    return memory, throughput
+
+
+def test_fig17_microbenchmarks(benchmark):
+    memory, throughput = benchmark(_run)
+    rows = []
+    for name in WORKLOADS:
+        rows.append([name, "memory"] + [f"{m:.3f}" for m in memory[name]])
+        rows.append([name, "throughput"] + [f"{t:.3f}" for t in throughput[name]])
+    report("fig17_microbench", ["workload", "metric"] + [f"{v}VN" for v in VNS],
+           rows, title="Fig 17: normalized peak memory (top) and throughput "
+                       "(bottom) on RTX 2080 Ti",
+           notes="paper: BERT memory overhead <= 16.2%, flat in VNs; "
+                 "BERT throughput +31.4% at high VN; worst dip -4.2%")
+    # Memory: overhead constant in VN count and bounded like the paper.
+    for name in WORKLOADS:
+        assert len(set(round(m, 9) for m in memory[name])) == 1
+        overhead = memory[name][0] - 1
+        assert 0 < overhead < 0.20
+    big = memory["bert_large_glue"][0] - 1
+    assert big == max(m[0] - 1 for m in memory.values())  # scales w/ model size
+    # Throughput: large models gain the most from update amortization.
+    bert = throughput["bert_large_glue"]
+    assert bert[-1] > 1.15          # paper: +31.4%
+    assert bert == sorted(bert)     # monotone in VN count
+    for name in WORKLOADS:
+        assert min(throughput[name]) > 0.90   # worst dip small (paper -4.2%)

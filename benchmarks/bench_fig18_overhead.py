@@ -1,0 +1,66 @@
+"""Figure 18: virtual-node overhead for batch sizes that already fit.
+
+Paper: for workloads whose batch fits in one wave on the RTX 2080 Ti, the
+throughput of running under VirtualFlow stays within 88.4% of vanilla
+TensorFlow (the cost is one gradient-buffer aggregation per wave).  Max
+batch sizes on this GPU: ResNet-50 192, Transformer 3072, BERT-LARGE 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import report
+from repro.framework import get_workload
+from repro.hardware import PerfModel, get_spec
+from repro.utils.validation import power_of_two_like_sizes
+
+WORKLOADS = ("resnet50_imagenet", "transformer_wmt", "bert_large_glue")
+FRACTIONS = (8, 4, 2, 1)
+PAPER_MAX = {"resnet50_imagenet": 192, "transformer_wmt": 3072,
+             "bert_large_glue": 4}
+
+
+def _run():
+    perf = PerfModel()
+    spec = get_spec("RTX2080Ti")
+    out = {}
+    for name in WORKLOADS:
+        wl = get_workload(name)
+        cap = wl.footprint.max_batch(spec.memory_bytes, wl.optimizer_slots)
+        max_b = power_of_two_like_sizes(cap)[-1]
+        ratios = {}
+        for frac in FRACTIONS:
+            b = max_b // frac
+            if b < 1:
+                ratios[frac] = None
+                continue
+            vanilla = b / perf.vanilla_step_time(wl, spec, b)
+            vf = b / perf.device_step_time(wl, spec, [b])
+            ratios[frac] = vf / vanilla
+        out[name] = (max_b, ratios)
+    return out
+
+
+def test_fig18_in_memory_overhead(benchmark):
+    results = benchmark(_run)
+    rows = []
+    for name, (max_b, ratios) in results.items():
+        rows.append([name, max_b] + [
+            f"{ratios[f]:.3f}" if ratios[f] is not None else "N/A"
+            for f in FRACTIONS
+        ])
+    report("fig18_overhead",
+           ["workload", "max batch"] + [f"1/{f} max" if f > 1 else "max"
+                                        for f in FRACTIONS],
+           rows, title="Fig 18: throughput vs vanilla for in-memory batches "
+                       "(RTX 2080 Ti)",
+           notes="paper: always within 88.4% of vanilla throughput")
+    for name, (max_b, ratios) in results.items():
+        assert max_b == PAPER_MAX[name]  # calibration anchors
+        for ratio in ratios.values():
+            if ratio is not None:
+                assert ratio > 0.85      # paper floor: 88.4%
+                assert ratio <= 1.0 + 1e-9
+    # BERT-LARGE at 1/8 of max batch (0.5 examples) is N/A, as in the paper.
+    assert results["bert_large_glue"][1][8] is None

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Fault tolerance and portable checkpoints (paper §7).
+
+A 4-GPU training job loses two workers mid-epoch; its virtual nodes migrate
+to the survivors and training continues uninterrupted — and bit-identically
+to a run that never saw a failure.  A checkpoint saved before the failure
+restores onto a *different* cluster shape, because checkpoints capture only
+virtual-node-level state, never the mapping.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro import TrainerConfig, VirtualFlowTrainer
+from repro.core import (
+    Mapping,
+    handle_device_failure,
+    load_checkpoint,
+    restore_device,
+    save_checkpoint,
+)
+from repro.hardware import Cluster
+
+
+def make_trainer() -> VirtualFlowTrainer:
+    return VirtualFlowTrainer(TrainerConfig(
+        workload="resnet56_cifar10", global_batch_size=64,
+        num_virtual_nodes=8, num_devices=4, dataset_size=1024, seed=21,
+    ))
+
+
+def main() -> None:
+    print("=== Failure mid-training ===")
+    faulty = make_trainer()
+    faulty.train_epoch()
+    print(f"epoch 0 done on {faulty.mapping}")
+
+    ckpt = os.path.join(tempfile.mkdtemp(), "epoch0.npz")
+    save_checkpoint(faulty.executor, ckpt)
+
+    migration = handle_device_failure(faulty.executor, [0, 3])
+    print(f"devices 0 and 3 failed; virtual nodes migrated in "
+          f"{migration*1e3:.1f} ms -> {faulty.mapping}")
+    faulty.train_epoch()
+
+    restore_device(faulty.executor, Cluster.homogeneous("V100", 4))
+    print(f"replacements arrived -> {faulty.mapping}")
+    faulty.train_epoch()
+
+    steady = make_trainer()
+    steady.train(epochs=3)
+    pf = faulty.executor.model.parameters()
+    ps = steady.executor.model.parameters()
+    print(f"failure was semantically invisible (bit-exact): "
+          f"{all(np.array_equal(pf[k], ps[k]) for k in pf)}")
+
+    print("\n=== Checkpoint portability ===")
+    # Restore the epoch-0 checkpoint onto a 2x RTX 2080 Ti cluster.
+    resumed = make_trainer()
+    load_checkpoint(resumed.executor, ckpt)
+    resumed.remap(Mapping.even(resumed.executor.vn_set,
+                               Cluster.homogeneous("RTX2080Ti", 2)))
+    resumed._epochs_done = 1  # continue from epoch 1
+    resumed.train_epoch(epoch=1)
+    resumed.train_epoch(epoch=2)
+    pr = resumed.executor.model.parameters()
+    print(f"resumed on 2x2080Ti == uninterrupted 4xV100 run: "
+          f"{all(np.array_equal(pr[k], ps[k]) for k in pr)}")
+    os.remove(ckpt)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Heterogeneous training (paper §5, §6.5).
+
+Profiles ResNet-50 on every device type, asks the heterogeneous solver for
+the best way to spread a batch of 8192 over 2 V100s + 2 P100s (the Figure 7
+scenario), compares even vs uneven vs solver splits, and finally *trains* a
+miniature workload across mixed device types to show the weighted gradient
+synchronization preserves exact semantics.
+
+Run:  python examples/heterogeneous_training.py
+"""
+
+import numpy as np
+
+from repro import TrainerConfig, VirtualFlowTrainer
+from repro.core import Mapping, VirtualNodeSet
+from repro.hardware import Cluster
+from repro.hetero import HeterogeneousSolver, TypeAssignment, materialize
+from repro.profiler import OfflineProfiler
+from repro.utils import format_table
+
+
+def solver_demo() -> None:
+    print("=== Offline profiling + solver (Figure 7 scenario) ===")
+    profiler = OfflineProfiler(seed=11)
+    store = profiler.profile_all("resnet50_imagenet", ["V100", "P100"])
+    for t in ("V100", "P100"):
+        profile = store.get("resnet50_imagenet", t)
+        peak = profile.curve()[-1]
+        print(f"{t}: profiled {len(profile.batch_sizes)} batch sizes, "
+              f"throughput at b={peak[0]}: {peak[1]:.0f} img/s")
+
+    solver = HeterogeneousSolver("resnet50_imagenet", store)
+    even = solver.predict_assignment([
+        TypeAssignment("V100", 2, 2048, 8), TypeAssignment("P100", 2, 2048, 8)])
+    uneven = solver.predict_assignment([
+        TypeAssignment("V100", 2, 3072, 16), TypeAssignment("P100", 2, 1024, 4)])
+    best = solver.solve({"V100": 2, "P100": 2}, global_batch=8192)
+    rows = [
+        ["even 2048:2048", f"{even.predicted_step_time:.2f}", f"{even.predicted_throughput:.0f}"],
+        ["uneven 3072:1024", f"{uneven.predicted_step_time:.2f}", f"{uneven.predicted_throughput:.0f}"],
+        ["solver best", f"{best.predicted_step_time:.2f}", f"{best.predicted_throughput:.0f}"],
+    ]
+    print(format_table(["configuration", "step time (s)", "throughput (img/s)"], rows))
+    print(f"solver picked: {best.describe()}")
+    cluster, vn_set, mapping = materialize(best)
+    print(f"materialized: {cluster} / {vn_set} / {mapping}\n")
+
+
+def correctness_demo() -> None:
+    print("=== Mixed-type training preserves semantics exactly ===")
+    # 2 V100s + 2 P100s; uneven virtual nodes: V100s take 3x the data.
+    cluster = Cluster.from_counts({"V100": 2, "P100": 2})
+    vn_set = VirtualNodeSet.uneven([24, 24, 8, 8])  # B = 64
+    # Device ids: P100s get ids 0,1 and V100s 2,3 (sorted by type name).
+    mapping = Mapping.by_counts(vn_set, cluster, {0: 1, 1: 1, 2: 1, 3: 1})
+    hetero = VirtualFlowTrainer(
+        TrainerConfig(workload="mlp_synthetic", global_batch_size=64,
+                      num_virtual_nodes=4, vn_sizes=[24, 24, 8, 8],
+                      dataset_size=1024, seed=9),
+        cluster=cluster, mapping=mapping,
+    )
+    hetero.train(epochs=3)
+
+    homog = VirtualFlowTrainer(TrainerConfig(
+        workload="mlp_synthetic", global_batch_size=64, num_virtual_nodes=4,
+        vn_sizes=[24, 24, 8, 8], num_devices=1, dataset_size=1024, seed=9))
+    homog.train(epochs=3)
+
+    ph = hetero.executor.model.parameters()
+    p1 = homog.executor.model.parameters()
+    print(f"heterogeneous == single-GPU run (bit-exact): "
+          f"{all(np.array_equal(ph[k], p1[k]) for k in ph)}")
+    print(f"final accuracy: {hetero.history[-1].val_accuracy:.4f} "
+          f"(simulated step time {hetero.executor.plan.step_time():.4f}s on "
+          f"{hetero.cluster})")
+
+
+if __name__ == "__main__":
+    solver_demo()
+    correctness_demo()

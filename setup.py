@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+offline environments that lack the `wheel` package required by PEP 660."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Baselines the paper compares against."""
+
+from repro.baselines.tfstar import TFStarConfig, TFStarTrainer
+from repro.baselines.grad_accumulation import GradientAccumulationTrainer
+
+__all__ = ["GradientAccumulationTrainer", "TFStarConfig", "TFStarTrainer"]

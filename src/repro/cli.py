@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points:
+
+* ``train``    — train a workload under virtual node processing, with
+  optional mid-training resizes;
+* ``plan``     — show the execution plan (waves, memory, predicted step
+  time) for a configuration without training;
+* ``profile``  — run the offline profiler for a workload across device
+  types (§5.1.1);
+* ``solve``    — run the heterogeneous solver for a device pool (§5.1.2);
+* ``simulate`` — run the elastic scheduling simulation (§6.4);
+* ``gavel``    — run the Gavel ± heterogeneous-allocations comparison
+  (§6.5.2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import ExecutionPlan, Mapping, TrainerConfig, VirtualFlowTrainer, VirtualNodeSet
+from repro.elastic import (
+    ClusterSimulator,
+    ElasticWFSScheduler,
+    StaticPriorityScheduler,
+    compute_metrics,
+    generate_trace,
+)
+from repro.framework import WORKLOADS, get_workload
+from repro.hardware import Cluster
+from repro.hetero import HeterogeneousSolver
+from repro.profiler import OfflineProfiler
+from repro.sched import GavelSimulator
+from repro.utils import format_bytes, format_duration, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_device_counts(text: str) -> Dict[str, int]:
+    """Parse 'V100=2,P100=4' into {'V100': 2, 'P100': 4}."""
+    counts: Dict[str, int] = {}
+    for part in text.split(","):
+        if "=" not in part:
+            raise argparse.ArgumentTypeError(
+                f"expected TYPE=COUNT entries, got {part!r}")
+        name, _, value = part.partition("=")
+        try:
+            counts[name.strip()] = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"bad count in {part!r}") from None
+    return counts
+
+
+def _parse_resize(text: str):
+    """Parse 'EPOCH:DEVICES' resize directives."""
+    epoch, _, devices = text.partition(":")
+    try:
+        return int(epoch), int(devices)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected EPOCH:DEVICES, got {text!r}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VirtualFlow reproduction: virtual node processing for "
+                    "deep learning workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a workload under virtual nodes")
+    train.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    train.add_argument("--batch", type=int, required=True,
+                       help="global batch size (hardware-free)")
+    train.add_argument("--virtual-nodes", type=int, required=True)
+    train.add_argument("--devices", type=int, default=1)
+    train.add_argument("--device-type", default="V100")
+    train.add_argument("--epochs", type=int, default=3)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--dataset-size", type=int, default=2048)
+    train.add_argument("--lr", type=float, default=None)
+    train.add_argument("--resize", type=_parse_resize, action="append",
+                       default=[], metavar="EPOCH:DEVICES",
+                       help="resize after EPOCH to DEVICES (repeatable)")
+
+    plan = sub.add_parser("plan", help="show the execution plan for a config")
+    plan.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    plan.add_argument("--batch", type=int, required=True)
+    plan.add_argument("--virtual-nodes", type=int, required=True)
+    plan.add_argument("--devices", type=int, default=1)
+    plan.add_argument("--device-type", default="V100")
+
+    profile = sub.add_parser("profile", help="offline throughput profiling")
+    profile.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    profile.add_argument("--device-types", default="V100,P100,K80,RTX2080Ti")
+    profile.add_argument("--seed", type=int, default=0)
+
+    solve = sub.add_parser("solve", help="heterogeneous solver")
+    solve.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    solve.add_argument("--batch", type=int, required=True)
+    solve.add_argument("--pool", type=_parse_device_counts, required=True,
+                       metavar="TYPE=N[,TYPE=N...]")
+    solve.add_argument("--seed", type=int, default=0)
+
+    simulate = sub.add_parser("simulate", help="elastic scheduling simulation")
+    simulate.add_argument("--jobs", type=int, default=20)
+    simulate.add_argument("--rate", type=float, default=12.0,
+                          help="job arrivals per hour")
+    simulate.add_argument("--gpus", type=int, default=8)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    gavel = sub.add_parser("gavel", help="Gavel vs Gavel+heterogeneous")
+    gavel.add_argument("--jobs", type=int, default=12)
+    gavel.add_argument("--rate", type=float, default=8.0)
+    gavel.add_argument("--pool", type=_parse_device_counts,
+                       default={"V100": 4, "P100": 8, "K80": 16},
+                       metavar="TYPE=N[,TYPE=N...]")
+    gavel.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_train(args) -> int:
+    resizes = dict(args.resize)
+    trainer = VirtualFlowTrainer(TrainerConfig(
+        workload=args.workload, global_batch_size=args.batch,
+        num_virtual_nodes=args.virtual_nodes, device_type=args.device_type,
+        num_devices=args.devices, seed=args.seed,
+        dataset_size=args.dataset_size, learning_rate=args.lr))
+    print(trainer.executor.plan.describe())
+    rows = []
+    for epoch in range(args.epochs):
+        record = trainer.train_epoch()
+        rows.append([record.epoch, f"{record.train_loss:.4f}",
+                     f"{record.val_accuracy:.4f}",
+                     format_duration(record.sim_time),
+                     len(trainer.cluster)])
+        if epoch in resizes:
+            migration = trainer.resize(resizes[epoch])
+            print(f"resized to {resizes[epoch]} device(s) after epoch {epoch} "
+                  f"(migration {migration*1e3:.1f} ms)")
+    print(format_table(["epoch", "train loss", "val acc", "sim time", "GPUs"], rows))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    workload = get_workload(args.workload)
+    vn_set = VirtualNodeSet.even(args.batch, args.virtual_nodes)
+    cluster = Cluster.homogeneous(args.device_type, args.devices)
+    plan = ExecutionPlan(workload, Mapping.even(vn_set, cluster))
+    print(plan.describe())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    device_types = [t.strip() for t in args.device_types.split(",") if t.strip()]
+    profiler = OfflineProfiler(seed=args.seed)
+    for device_type in device_types:
+        try:
+            profile = profiler.profile(args.workload, device_type)
+        except ValueError as exc:
+            print(f"{device_type}: {exc}")
+            continue
+        rows = [[b, f"{profile.step_time(b)*1e3:.2f}", f"{profile.throughput(b):.0f}"]
+                for b in profile.batch_sizes]
+        print(format_table(["batch", "wave ms", "examples/s"], rows,
+                           title=f"{args.workload} on {device_type} "
+                                 f"(comm overhead {profile.comm_overhead*1e3:.1f} ms)"))
+        print()
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    profiler = OfflineProfiler(seed=args.seed)
+    store = profiler.profile_all(args.workload, sorted(args.pool))
+    solver = HeterogeneousSolver(args.workload, store)
+    best = solver.solve(args.pool, args.batch)
+    print(best.describe())
+    homogeneous = solver.solve_homogeneous(args.pool, args.batch)
+    if homogeneous is not None and not best.is_homogeneous:
+        gain = best.predicted_throughput / homogeneous.predicted_throughput - 1
+        print(f"vs best homogeneous ({homogeneous.describe()}): {gain:+.1%}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace = generate_trace(args.jobs, args.rate, seed=args.seed)
+    rows = []
+    for scheduler in (ElasticWFSScheduler(), StaticPriorityScheduler()):
+        metrics = compute_metrics(
+            ClusterSimulator(args.gpus, scheduler).run(trace))
+        rows.append([metrics.scheduler_name,
+                     format_duration(metrics.makespan),
+                     format_duration(metrics.median_jct),
+                     format_duration(metrics.median_queuing_delay),
+                     f"{metrics.utilization:.1%}"])
+    print(format_table(
+        ["scheduler", "makespan", "median JCT", "median queue", "util"], rows,
+        title=f"{args.jobs} jobs at {args.rate}/h on {args.gpus} GPUs"))
+    return 0
+
+
+def _cmd_gavel(args) -> int:
+    trace = generate_trace(args.jobs, args.rate, seed=args.seed,
+                           target_runtime=2400)
+    rows = []
+    for hetero in (False, True):
+        result = GavelSimulator(args.pool, heterogeneous=hetero).run(trace)
+        rows.append(["Gavel+HT" if hetero else "Gavel",
+                     f"{result.avg_jct():.0f}",
+                     f"{result.hetero_round_fraction():.1%}"])
+    pool = ", ".join(f"{n}x{t}" for t, n in sorted(args.pool.items()))
+    print(format_table(["scheduler", "avg JCT (s)", "hetero rounds"], rows,
+                       title=f"{args.jobs} jobs at {args.rate}/h on {pool}"))
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "plan": _cmd_plan,
+    "profile": _cmd_profile,
+    "solve": _cmd_solve,
+    "simulate": _cmd_simulate,
+    "gavel": _cmd_gavel,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""VirtualFlow's core: virtual node processing.
+
+The paper's contribution is a layer of indirection between the model and the
+hardware (§3): each global batch is split across **virtual nodes**; virtual
+nodes map many-to-one onto accelerators and execute as sequential waves.
+Model semantics (batch size, data order, RNG, stateful kernels) attach to
+virtual nodes, so any change of mapping — fewer devices, more devices,
+different device types — is invisible to the application.
+"""
+
+from repro.core.virtual_node import VirtualNode, VirtualNodeSet
+from repro.core.mapping import Mapping
+from repro.core.sharding import shard_batch, shard_sizes
+from repro.core.gradient_buffer import GradientBuffer
+from repro.core.sync import allreduce_gradients, weighted_average
+from repro.core.state import VirtualNodeState, migrate_states
+from repro.core.plan import ExecutionPlan, PlanValidationError
+from repro.core.pipeline import (
+    PipelineConfig,
+    data_parallel_pipeline,
+    pipelined_virtual_nodes,
+    virtual_node_pipeline,
+)
+from repro.core.executor import StepResult, VirtualFlowExecutor
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.fault_tolerance import (
+    FaultToleranceError,
+    handle_device_failure,
+    restore_device,
+)
+from repro.core.inference import InferenceEngine, InferenceResult
+from repro.core.trainer import EpochResult, TrainerConfig, VirtualFlowTrainer
+
+__all__ = [
+    "EpochResult",
+    "ExecutionPlan",
+    "FaultToleranceError",
+    "GradientBuffer",
+    "InferenceEngine",
+    "InferenceResult",
+    "Mapping",
+    "PipelineConfig",
+    "PlanValidationError",
+    "StepResult",
+    "data_parallel_pipeline",
+    "pipelined_virtual_nodes",
+    "virtual_node_pipeline",
+    "TrainerConfig",
+    "VirtualFlowExecutor",
+    "VirtualFlowTrainer",
+    "VirtualNode",
+    "VirtualNodeSet",
+    "VirtualNodeState",
+    "allreduce_gradients",
+    "handle_device_failure",
+    "load_checkpoint",
+    "migrate_states",
+    "restore_device",
+    "save_checkpoint",
+    "shard_batch",
+    "shard_sizes",
+    "weighted_average",
+]

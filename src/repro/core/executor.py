@@ -1,0 +1,224 @@
+"""The virtual-node step executor (paper Figure 5).
+
+One training step processes every virtual node's shard — V forward/backward
+passes per device — folds gradients into the shared buffer, synchronizes the
+weighted average across devices, and applies one optimizer update to the
+(replicated) model.
+
+Determinism contract
+--------------------
+The numeric reduction sums per-virtual-node gradients in **canonical
+virtual-node order**, not in device order.  Floating-point addition is not
+associative, so reducing per-device partial sums would make results depend on
+the mapping; reducing in virtual-node order makes training *bit-identical*
+across any mapping — the strongest possible version of the paper's
+"convergence depends only on virtual nodes" guarantee.  The per-device
+gradient buffer is still modeled (its bytes appear in every memory number);
+only the reduction order is canonicalized.
+
+Stateful kernels (BatchNorm moving statistics) are loaded from and saved to
+per-virtual-node state around each wave, so they follow virtual nodes across
+resizes exactly as §4.1 requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.gradient_buffer import GradientBuffer
+from repro.core.mapping import Mapping
+from repro.core.plan import ExecutionPlan
+from repro.core.sharding import shard_batch
+from repro.core.state import VirtualNodeState, migrate_states
+from repro.core.sync import weighted_average
+from repro.core.virtual_node import VirtualNodeSet
+from repro.framework.layers import Module
+from repro.framework.losses import Loss
+from repro.framework.metrics import accuracy
+from repro.framework.optimizers import Optimizer
+from repro.hardware.perfmodel import PerfModel
+from repro.utils.seeding import augment_rng, vn_rng
+
+from repro.framework.models import Workload
+
+__all__ = ["VirtualFlowExecutor", "StepResult"]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one synchronous training step."""
+
+    loss: float
+    examples: int
+    sim_step_time: float
+    grad_norm: float
+
+
+class VirtualFlowExecutor:
+    """Runs training steps under a virtual-node mapping.
+
+    Parameters
+    ----------
+    workload:
+        Registered workload (supplies the resource footprint and perf curve).
+    model, loss_fn, optimizer:
+        The numeric training state.  The single ``model`` instance plays the
+        role of the per-device replicas: synchronous data parallelism keeps
+        replicas identical, so one copy is semantically exact.
+    mapping:
+        The current virtual-node-to-device mapping.  Replaceable at any step
+        boundary via :meth:`remap` — that is resource elasticity.
+    seed:
+        Root seed for all per-virtual-node randomness.
+    """
+
+    def __init__(self, workload: Workload, model: Module, loss_fn: Loss,
+                 optimizer: Optimizer, mapping: Mapping, seed: int = 0,
+                 perf: Optional[PerfModel] = None, augment=None) -> None:
+        self.workload = workload
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+        self.mapping = mapping
+        self.seed = seed
+        self.augment = augment  # optional repro.data.augment.Transform
+        self.perf = perf or PerfModel(mapping.cluster.interconnect)
+        self.plan = ExecutionPlan(workload, mapping, self.perf)
+        self.sim_time = 0.0
+        self.steps_run = 0
+        self.examples_seen = 0
+        self.resize_count = 0
+        # Every virtual node starts from the model's initial stateful buffers.
+        init_state = model.state_dict()
+        self.vn_states: List[VirtualNodeState] = [
+            VirtualNodeState(vn_index=i, buffers={k: v.copy() for k, v in init_state.items()})
+            for i in range(mapping.vn_set.num_nodes)
+        ]
+
+    @property
+    def vn_set(self) -> VirtualNodeSet:
+        return self.mapping.vn_set
+
+    # -- one step (Figure 5) ---------------------------------------------------
+
+    def run_step(self, x: np.ndarray, y: np.ndarray, epoch: int, step: int) -> StepResult:
+        """Process one global batch: V waves per device, sync, update."""
+        if len(x) != self.vn_set.global_batch_size:
+            raise ValueError(
+                f"global batch of {len(x)} examples does not match the virtual "
+                f"node set (expects {self.vn_set.global_batch_size})"
+            )
+        shards = shard_batch(self.vn_set, x, y)
+        contributions: List[Tuple[Dict[str, np.ndarray], float]] = []
+        weighted_loss = 0.0
+        # Physically, shards execute as per-device waves in parallel; since
+        # every wave reads the same (frozen) parameters, iterating in
+        # canonical virtual-node order computes identical values.
+        for node, (x_vn, y_vn) in zip(self.vn_set, shards):
+            state = self.vn_states[node.index]
+            self.model.load_state_dict(state.buffers)
+            if self.augment is not None:
+                x_vn = self.augment.apply(
+                    x_vn, augment_rng(self.seed, epoch, step, node.index))
+            rng = vn_rng(self.seed, epoch, step, node.index)
+            logits = self.model.forward(x_vn, training=True, rng=rng)
+            loss_value = self.loss_fn.forward(logits, y_vn)
+            self.model.zero_grad()
+            self.model.backward(self.loss_fn.backward())
+            grads = {k: v.copy() for k, v in self.model.gradients().items()}
+            contributions.append((grads, float(node.batch_size)))
+            weighted_loss += loss_value * node.batch_size
+            # Stateful kernels updated during the wave belong to this node.
+            state.buffers = self.model.state_dict()
+        # Steps 3-4: aggregate + synchronize (canonical order; see module doc).
+        avg_grads = weighted_average(contributions)
+        # Step 5: every replica applies the same averaged gradients.
+        self.optimizer.step(self.model.parameters(), avg_grads)
+        # A diverged model can overflow float64 here; report inf, not a warning.
+        sq = 0.0
+        with np.errstate(over="ignore", invalid="ignore"):
+            for g in avg_grads.values():
+                sq += float(np.sum(g * g))
+        step_time = self.plan.step_time()
+        self.sim_time += step_time
+        self.steps_run += 1
+        self.examples_seen += len(x)
+        return StepResult(
+            loss=weighted_loss / len(x),
+            examples=len(x),
+            sim_step_time=step_time,
+            grad_norm=float(np.sqrt(sq)),
+        )
+
+    # -- gradient-buffer view (memory/systems path) ------------------------------
+
+    def device_gradient_buffers(self) -> Dict[int, GradientBuffer]:
+        """Fresh per-device gradient buffers, for memory accounting and tests.
+
+        Each is model-sized regardless of how many virtual nodes the device
+        hosts — the §3.3 constant-overhead property.
+        """
+        template = self.model.gradients()
+        return {
+            device_id: GradientBuffer(template)
+            for device_id in self.mapping.active_devices()
+        }
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def _merged_eval_state(self) -> Dict[str, np.ndarray]:
+        """Canonical evaluation view of stateful kernels: the virtual-node mean.
+
+        Per-node moving statistics differ slightly (they are never
+        synchronized); averaging in index order gives a mapping-independent
+        evaluation model.
+        """
+        merged: Dict[str, np.ndarray] = {}
+        n = len(self.vn_states)
+        for key in self.vn_states[0].buffers:
+            acc = np.zeros_like(self.vn_states[0].buffers[key])
+            for state in self.vn_states:
+                acc += state.buffers[key]
+            merged[key] = acc / n
+        return merged
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> Tuple[float, float]:
+        """Return (mean loss, accuracy) on a dataset, in inference mode."""
+        if len(x) == 0:
+            raise ValueError("cannot evaluate on an empty dataset")
+        saved = self.model.state_dict()
+        if self.vn_states and self.vn_states[0].buffers:
+            self.model.load_state_dict(self._merged_eval_state())
+        total_loss = 0.0
+        correct_weighted = 0.0
+        for start in range(0, len(x), batch_size):
+            xb, yb = x[start : start + batch_size], y[start : start + batch_size]
+            logits = self.model.forward(xb, training=False)
+            total_loss += self.loss_fn.forward(logits, yb) * len(xb)
+            correct_weighted += accuracy(logits, yb) * len(xb)
+        self.model.load_state_dict(saved)
+        return total_loss / len(x), correct_weighted / len(x)
+
+    # -- elasticity (§4) --------------------------------------------------------------
+
+    def remap(self, new_mapping: Mapping) -> float:
+        """Redistribute virtual nodes (resize); returns simulated migration time.
+
+        The virtual node set must be preserved; model parameters, optimizer
+        slots, and per-node stateful kernels all survive — training continues
+        as if nothing happened, which is the paper's headline elasticity
+        guarantee.
+        """
+        migration = migrate_states(
+            self.vn_states, self.mapping, new_mapping,
+            model_bytes=self.workload.footprint.param_bytes,
+        )
+        self.mapping = new_mapping
+        self.perf = PerfModel(new_mapping.cluster.interconnect)
+        self.plan = ExecutionPlan(self.workload, new_mapping, self.perf)
+        self.sim_time += migration
+        self.resize_count += 1
+        return migration

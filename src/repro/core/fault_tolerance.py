@@ -1,0 +1,61 @@
+"""Fault tolerance via virtual node migration (paper §7).
+
+The paper observes that the elasticity mechanism doubles as fault handling:
+when a worker fails, its virtual nodes migrate to the remaining healthy
+workers, and later to replacements — training never restarts from a stale
+checkpoint.  Because virtual node state lives with the nodes (and model
+parameters are replicated on every worker), surviving workers can rebuild
+the failed worker's share exactly.
+
+This module implements that policy on top of :meth:`VirtualFlowExecutor.remap`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.executor import VirtualFlowExecutor
+from repro.core.mapping import Mapping
+from repro.hardware.cluster import Cluster
+
+__all__ = ["FaultToleranceError", "handle_device_failure", "restore_device"]
+
+
+class FaultToleranceError(RuntimeError):
+    """No healthy devices remain, or the failure target is unknown."""
+
+
+def handle_device_failure(executor: VirtualFlowExecutor,
+                          failed_device_ids: Iterable[int]) -> float:
+    """Migrate virtual nodes off failed devices; returns migration time.
+
+    The surviving devices absorb the orphaned virtual nodes evenly.  Raises
+    :class:`FaultToleranceError` when no devices survive (the job must then
+    wait for replacements) or the plan no longer fits in surviving memory.
+    """
+    failed = set(failed_device_ids)
+    cluster = executor.mapping.cluster
+    known = {d.device_id for d in cluster.devices}
+    unknown = failed - known
+    if unknown:
+        raise FaultToleranceError(
+            f"cannot fail unknown devices: {sorted(unknown)}"
+        )
+    survivors = [d.device_id for d in cluster.devices if d.device_id not in failed]
+    if not survivors:
+        raise FaultToleranceError(
+            "all devices failed; wait for replacements and call restore_device"
+        )
+    healthy = cluster.subset(survivors)
+    new_mapping = Mapping.even(executor.vn_set, healthy)
+    return executor.remap(new_mapping)
+
+
+def restore_device(executor: VirtualFlowExecutor, cluster: Cluster) -> float:
+    """Rebalance onto a repaired/replacement cluster; returns migration time.
+
+    New workers bootstrap via the §4.1 all-gather (model parameters and
+    virtual node state), exactly as in a scale-out resize.
+    """
+    new_mapping = Mapping.even(executor.vn_set, cluster)
+    return executor.remap(new_mapping)

@@ -1,0 +1,73 @@
+"""The shared per-device gradient buffer (§3.2-3.3).
+
+All virtual nodes on one accelerator fold their raw gradients into a single
+model-sized buffer, so memory overhead is a constant — one extra copy of the
+model — independent of the number of virtual nodes.  This module provides
+that accumulator plus its byte accounting for the memory model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["GradientBuffer"]
+
+Grads = Dict[str, np.ndarray]
+
+
+class GradientBuffer:
+    """Accumulates weighted per-virtual-node gradients for one device."""
+
+    def __init__(self, template: Grads) -> None:
+        if not template:
+            raise ValueError("gradient buffer needs a non-empty parameter template")
+        self._buffer: Grads = {k: np.zeros_like(v) for k, v in template.items()}
+        self._weight = 0.0
+        self.num_accumulated = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Buffer size in bytes — equals the model size (§3.3)."""
+        return int(sum(v.nbytes for v in self._buffer.values()))
+
+    @property
+    def total_weight(self) -> float:
+        return self._weight
+
+    def add(self, grads: Grads, weight: float = 1.0) -> None:
+        """Fold one virtual node's mean gradients in with the given weight.
+
+        ``weight`` is the virtual node's example count; the final
+        :meth:`average` is then the example-weighted mean, which the weighted
+        synchronization (§5.2) requires for uneven shards.
+        """
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        extra = set(grads) - set(self._buffer)
+        if extra:
+            raise KeyError(f"unknown gradient keys: {sorted(extra)[:5]}")
+        missing = set(self._buffer) - set(grads)
+        if missing:
+            raise KeyError(f"missing gradient keys: {sorted(missing)[:5]}")
+        for key in self._buffer:
+            self._buffer[key] += weight * grads[key]
+        self._weight += weight
+        self.num_accumulated += 1
+
+    def weighted_sum(self) -> Grads:
+        """The raw weighted sum (used by cross-device synchronization)."""
+        return {k: v.copy() for k, v in self._buffer.items()}
+
+    def average(self) -> Grads:
+        """Example-weighted average of everything accumulated so far."""
+        if self._weight == 0:
+            raise RuntimeError("no gradients accumulated")
+        return {k: v / self._weight for k, v in self._buffer.items()}
+
+    def reset(self) -> None:
+        for v in self._buffer.values():
+            v[...] = 0.0
+        self._weight = 0.0
+        self.num_accumulated = 0

@@ -1,0 +1,95 @@
+"""Gradient synchronization with heterogeneous-correct weighting (§5.2).
+
+The paper's worked example: with 6 examples on GPU0 and 2 on GPU1, averaging
+the two local means weights GPU1's examples 3x too heavily.  VirtualFlow
+instead weights each local mean by its example count::
+
+    (6/8) * mean(g1..g6) + (2/8) * mean(g7, g8) = mean(g1..g8)
+
+:func:`weighted_average` implements that contract over any number of
+contributions.  :func:`allreduce_gradients` is the cluster-wide step: it
+reduces per-device weighted sums in a canonical device order and hands every
+device the identical averaged result, mirroring a deterministic ring
+all-reduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["weighted_average", "allreduce_gradients", "naive_average"]
+
+Grads = Dict[str, np.ndarray]
+
+
+def _check_keys(contributions: Sequence[Tuple[Grads, float]]) -> List[str]:
+    if not contributions:
+        raise ValueError("no gradient contributions to synchronize")
+    keys = sorted(contributions[0][0])
+    for grads, _ in contributions[1:]:
+        if sorted(grads) != keys:
+            raise KeyError("gradient contributions disagree on parameter keys")
+    return keys
+
+
+def weighted_average(contributions: Sequence[Tuple[Grads, float]]) -> Grads:
+    """Example-weighted average of per-worker mean gradients.
+
+    Each contribution is ``(mean_grads, example_count)``.  The result equals
+    the plain mean over all examples, however they were split — the §5.2
+    correctness property.  Summation follows the given (canonical) order, so
+    results are bit-reproducible.
+    """
+    keys = _check_keys(contributions)
+    total = float(sum(w for _, w in contributions))
+    if total <= 0:
+        raise ValueError(f"total weight must be positive, got {total}")
+    out: Grads = {}
+    for key in keys:
+        acc = np.zeros_like(contributions[0][0][key])
+        for grads, weight in contributions:
+            acc += (weight / total) * grads[key]
+        out[key] = acc
+    return out
+
+
+def naive_average(contributions: Sequence[Tuple[Grads, float]]) -> Grads:
+    """The *incorrect* unweighted mean-of-means (what vanilla frameworks do).
+
+    Kept as the §5.2 counterexample: equal to :func:`weighted_average` only
+    when all example counts match.
+    """
+    keys = _check_keys(contributions)
+    n = len(contributions)
+    out: Grads = {}
+    for key in keys:
+        acc = np.zeros_like(contributions[0][0][key])
+        for grads, _ in contributions:
+            acc += grads[key] / n
+        out[key] = acc
+    return out
+
+
+def allreduce_gradients(per_device: Dict[int, Tuple[Grads, float]]) -> Grads:
+    """Synchronize per-device (weighted_sum, weight) pairs into one average.
+
+    Devices are visited in ascending id order so the floating-point reduction
+    is independent of arrival order; every device receives the same arrays,
+    exactly as a synchronous all-reduce guarantees.
+    """
+    if not per_device:
+        raise ValueError("no devices to synchronize")
+    ordered = [per_device[d] for d in sorted(per_device)]
+    keys = _check_keys(ordered)
+    total = float(sum(w for _, w in ordered))
+    if total <= 0:
+        raise ValueError(f"total weight must be positive, got {total}")
+    out: Grads = {}
+    for key in keys:
+        acc = np.zeros_like(ordered[0][0][key])
+        for sums, _ in ordered:
+            acc += sums[key]
+        out[key] = acc / total
+    return out

@@ -1,0 +1,32 @@
+"""Deterministic synthetic datasets and the sharding-aware batch loader."""
+
+from repro.data.datasets import (
+    Dataset,
+    make_dataset,
+    synthetic_image_dataset,
+    synthetic_text_dataset,
+    synthetic_vector_dataset,
+)
+from repro.data.loader import BatchLoader, GlobalBatch
+from repro.data.augment import (
+    Compose,
+    GaussianNoise,
+    RandomCrop,
+    RandomHorizontalFlip,
+    TokenDropout,
+)
+
+__all__ = [
+    "BatchLoader",
+    "Compose",
+    "GaussianNoise",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "TokenDropout",
+    "Dataset",
+    "GlobalBatch",
+    "make_dataset",
+    "synthetic_image_dataset",
+    "synthetic_text_dataset",
+    "synthetic_vector_dataset",
+]

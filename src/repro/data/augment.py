@@ -1,0 +1,126 @@
+"""Data augmentation with placement-free randomness.
+
+Augmentations are the third source of per-step randomness (after
+initialization and dropout).  To preserve VirtualFlow's mapping invariance
+they must be driven by the caller-supplied per-virtual-node generator, never
+by device-local state.  These transforms operate on NHWC image batches and
+integer token batches, vectorized over the batch dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "GaussianNoise",
+    "TokenDropout",
+    "Compose",
+]
+
+
+class Transform:
+    """Interface: ``apply(x, rng) -> x`` (must not mutate the input)."""
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return self.apply(x, rng)
+
+
+@dataclass(frozen=True)
+class RandomHorizontalFlip(Transform):
+    """Flip each image left-right with probability ``p``."""
+
+    p: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.p <= 1:
+            raise ValueError(f"p must be in [0, 1], got {self.p}")
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected NHWC images, got shape {x.shape}")
+        flips = rng.random(len(x)) < self.p
+        out = x.copy()
+        out[flips] = out[flips, :, ::-1, :]
+        return out
+
+
+@dataclass(frozen=True)
+class RandomCrop(Transform):
+    """Pad by ``padding`` pixels then crop back to the original size."""
+
+    padding: int = 1
+
+    def __post_init__(self) -> None:
+        if self.padding < 1:
+            raise ValueError(f"padding must be >= 1, got {self.padding}")
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected NHWC images, got shape {x.shape}")
+        n, h, w, c = x.shape
+        p = self.padding
+        padded = np.pad(x, ((0, 0), (p, p), (p, p), (0, 0)))
+        offsets = rng.integers(0, 2 * p + 1, size=(n, 2))
+        out = np.empty_like(x)
+        for i in range(n):
+            dy, dx = offsets[i]
+            out[i] = padded[i, dy : dy + h, dx : dx + w, :]
+        return out
+
+
+@dataclass(frozen=True)
+class GaussianNoise(Transform):
+    """Add i.i.d. Gaussian pixel noise with the given standard deviation."""
+
+    std: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.std < 0:
+            raise ValueError(f"std must be >= 0, got {self.std}")
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.std == 0:
+            return x.copy()
+        return x + rng.standard_normal(x.shape) * self.std
+
+
+@dataclass(frozen=True)
+class TokenDropout(Transform):
+    """Replace tokens with ``mask_token`` with probability ``p`` (text)."""
+
+    p: float = 0.1
+    mask_token: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.p < 1:
+            raise ValueError(f"p must be in [0, 1), got {self.p}")
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if not np.issubdtype(x.dtype, np.integer):
+            raise ValueError("TokenDropout expects integer token batches")
+        mask = rng.random(x.shape) < self.p
+        out = x.copy()
+        out[mask] = self.mask_token
+        return out
+
+
+class Compose(Transform):
+    """Apply transforms in order, all drawing from the same generator."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        if not transforms:
+            raise ValueError("Compose needs at least one transform")
+        self.transforms: Tuple[Transform, ...] = tuple(transforms)
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            x = transform.apply(x, rng)
+        return x

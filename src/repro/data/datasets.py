@@ -1,0 +1,153 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+The paper's reproducibility claims are statements about *trajectory
+invariance* (same batch size + same virtual nodes ⇒ same curve) and
+*divergence under naive batch-size changes* — properties of SGD on any
+non-trivial task.  These generators produce classification tasks that are
+
+* **deterministic** — content is a pure function of the seed, so every
+  process (and every virtual node mapping) sees identical data;
+* **batch-size sensitive** — labels carry noise and classes overlap, so
+  small- and large-batch runs follow visibly different trajectories, which
+  is what the TF* baseline comparison (Table 1, Fig 8) needs;
+* **CPU-fast** — thousands of examples, tiny dimensions.
+
+Naming maps to the paper: ``synthetic_imagenet``/``synthetic_cifar10`` are
+image tasks, ``synthetic_glue`` is a sentence-classification task, and
+``synthetic_wmt`` is a longer-sequence task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+import zlib
+
+from repro.utils.seeding import DOMAIN_WORKLOAD, derive_rng
+
+__all__ = [
+    "Dataset",
+    "synthetic_vector_dataset",
+    "synthetic_image_dataset",
+    "synthetic_text_dataset",
+    "make_dataset",
+]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory dataset split into train and validation parts."""
+
+    name: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+
+    @property
+    def n_train(self) -> int:
+        return len(self.x_train)
+
+    @property
+    def n_val(self) -> int:
+        return len(self.x_val)
+
+    @property
+    def num_classes(self) -> int:
+        return int(max(self.y_train.max(), self.y_val.max())) + 1
+
+    def __post_init__(self) -> None:
+        if len(self.x_train) != len(self.y_train):
+            raise ValueError("x_train/y_train length mismatch")
+        if len(self.x_val) != len(self.y_val):
+            raise ValueError("x_val/y_val length mismatch")
+
+
+def _split(x: np.ndarray, y: np.ndarray, n_val: int, name: str) -> Dataset:
+    return Dataset(name=name, x_train=x[n_val:], y_train=y[n_val:],
+                   x_val=x[:n_val], y_val=y[:n_val])
+
+
+def synthetic_vector_dataset(n: int = 4096, dim: int = 32, num_classes: int = 10,
+                             seed: int = 0, noise: float = 1.6,
+                             label_noise: float = 0.05, val_fraction: float = 0.2,
+                             name: str = "synthetic_vectors") -> Dataset:
+    """Gaussian-cluster classification in ``dim`` dimensions."""
+    rng = derive_rng(seed, DOMAIN_WORKLOAD, zlib.crc32(name.encode()) & 0xFFFF)
+    centers = rng.standard_normal((num_classes, dim)) * 2.0
+    y = rng.integers(0, num_classes, size=n)
+    x = centers[y] + rng.standard_normal((n, dim)) * noise
+    flip = rng.random(n) < label_noise
+    y = np.where(flip, rng.integers(0, num_classes, size=n), y)
+    return _split(x.astype(np.float64), y.astype(np.int64), int(n * val_fraction), name)
+
+
+def synthetic_image_dataset(n: int = 4096, image_size: int = 8, channels: int = 3,
+                            num_classes: int = 10, seed: int = 0, noise: float = 0.9,
+                            label_noise: float = 0.04, val_fraction: float = 0.2,
+                            name: str = "synthetic_images") -> Dataset:
+    """Tiny images: class-specific spatial templates plus pixel noise."""
+    rng = derive_rng(seed, DOMAIN_WORKLOAD, zlib.crc32(name.encode()) & 0xFFFF)
+    templates = rng.standard_normal((num_classes, image_size, image_size, channels))
+    y = rng.integers(0, num_classes, size=n)
+    x = templates[y] + rng.standard_normal((n, image_size, image_size, channels)) * noise
+    flip = rng.random(n) < label_noise
+    y = np.where(flip, rng.integers(0, num_classes, size=n), y)
+    return _split(x.astype(np.float64), y.astype(np.int64), int(n * val_fraction), name)
+
+
+def synthetic_text_dataset(n: int = 4096, seq_len: int = 12, vocab_size: int = 64,
+                           num_classes: int = 2, seed: int = 0,
+                           signal_tokens: int = 3, signal_prob: float = 0.75,
+                           label_noise: float = 0.05, val_fraction: float = 0.2,
+                           name: str = "synthetic_text") -> Dataset:
+    """Token sequences whose class is signalled by class-specific tokens.
+
+    Each class owns ``signal_tokens`` vocabulary items; a sequence of that
+    class replaces random positions with its signal tokens with probability
+    ``signal_prob`` per position (up to 1/3 of the sequence).  The task is
+    learnable by attention/embedding models but noisy enough that batch size
+    affects the optimization trajectory.
+    """
+    if num_classes * signal_tokens >= vocab_size:
+        raise ValueError("vocab too small for the requested class signals")
+    rng = derive_rng(seed, DOMAIN_WORKLOAD, zlib.crc32(name.encode()) & 0xFFFF)
+    y = rng.integers(0, num_classes, size=n)
+    # Background tokens avoid the signal range [0, num_classes*signal_tokens).
+    background_lo = num_classes * signal_tokens
+    x = rng.integers(background_lo, vocab_size, size=(n, seq_len))
+    n_slots = max(1, seq_len // 3)
+    for i in range(n):
+        cls = y[i]
+        slots = rng.choice(seq_len, size=n_slots, replace=False)
+        for pos in slots:
+            if rng.random() < signal_prob:
+                x[i, pos] = cls * signal_tokens + rng.integers(0, signal_tokens)
+    flip = rng.random(n) < label_noise
+    y = np.where(flip, rng.integers(0, num_classes, size=n), y)
+    return _split(x.astype(np.int64), y.astype(np.int64), int(n * val_fraction), name)
+
+
+_BUILDERS = {
+    "synthetic_vectors": lambda n, seed: synthetic_vector_dataset(n=n, seed=seed, name="synthetic_vectors"),
+    "synthetic_imagenet": lambda n, seed: synthetic_image_dataset(
+        n=n, seed=seed, image_size=8, num_classes=10, name="synthetic_imagenet"),
+    "synthetic_cifar10": lambda n, seed: synthetic_image_dataset(
+        n=n, seed=seed, image_size=8, num_classes=10, noise=1.1, name="synthetic_cifar10"),
+    "synthetic_glue": lambda n, seed: synthetic_text_dataset(
+        n=n, seed=seed, seq_len=12, num_classes=2, name="synthetic_glue"),
+    "synthetic_wmt": lambda n, seed: synthetic_text_dataset(
+        n=n, seed=seed, seq_len=16, vocab_size=64, num_classes=8, name="synthetic_wmt"),
+}
+
+
+def make_dataset(name: str, n: int = 4096, seed: int = 0) -> Dataset:
+    """Build a named dataset (names align with :data:`repro.framework.WORKLOADS`)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(_BUILDERS)}") from None
+    return builder(n, seed)

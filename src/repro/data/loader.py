@@ -1,0 +1,98 @@
+"""Sharding-aware batch loader.
+
+The loader produces *global* batches — the per-step slice of the canonical
+epoch order.  Splitting a global batch across virtual nodes is the job of
+:mod:`repro.core.sharding`; keeping the two separate is exactly the paper's
+decoupling: the epoch order and batch contents are application-level
+semantics, while the split across accelerators is a systems-level concern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.utils.seeding import data_order
+
+__all__ = ["GlobalBatch", "BatchLoader"]
+
+
+@dataclass(frozen=True)
+class GlobalBatch:
+    """One step's worth of input: examples, labels, and their epoch indices."""
+
+    x: np.ndarray
+    y: np.ndarray
+    indices: np.ndarray  # positions within the dataset (for exactly-once audits)
+    epoch: int
+    step: int
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+class BatchLoader:
+    """Iterates global batches in a canonical, seed-determined order.
+
+    The epoch order is a pure function of ``(seed, epoch)`` (see
+    :func:`repro.utils.seeding.data_order`), so any two trainers configured
+    identically walk bit-identical data regardless of cluster shape.  A
+    trailing partial batch is dropped, as is standard for synchronous
+    data-parallel training.
+    """
+
+    def __init__(self, dataset: Dataset, global_batch_size: int, seed: int = 0,
+                 shuffle: bool = True) -> None:
+        if global_batch_size < 1:
+            raise ValueError(f"global_batch_size must be >= 1, got {global_batch_size}")
+        if global_batch_size > dataset.n_train:
+            raise ValueError(
+                f"global_batch_size {global_batch_size} exceeds training set size "
+                f"{dataset.n_train}"
+            )
+        self.dataset = dataset
+        self.global_batch_size = global_batch_size
+        self.seed = seed
+        self.shuffle = shuffle
+
+    @property
+    def steps_per_epoch(self) -> int:
+        return self.dataset.n_train // self.global_batch_size
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """The canonical example order for ``epoch``."""
+        if self.shuffle:
+            return data_order(self.seed, epoch, self.dataset.n_train)
+        return np.arange(self.dataset.n_train)
+
+    def batch(self, epoch: int, step: int) -> GlobalBatch:
+        """Random access to the global batch at ``(epoch, step)``."""
+        if not 0 <= step < self.steps_per_epoch:
+            raise IndexError(f"step {step} out of range [0, {self.steps_per_epoch})")
+        order = self.epoch_order(epoch)
+        b = self.global_batch_size
+        idx = order[step * b : (step + 1) * b]
+        return GlobalBatch(
+            x=self.dataset.x_train[idx],
+            y=self.dataset.y_train[idx],
+            indices=idx,
+            epoch=epoch,
+            step=step,
+        )
+
+    def epoch(self, epoch: int) -> Iterator[GlobalBatch]:
+        """Iterate all global batches of one epoch."""
+        order = self.epoch_order(epoch)
+        b = self.global_batch_size
+        for step in range(self.steps_per_epoch):
+            idx = order[step * b : (step + 1) * b]
+            yield GlobalBatch(
+                x=self.dataset.x_train[idx],
+                y=self.dataset.y_train[idx],
+                indices=idx,
+                epoch=epoch,
+                step=step,
+            )

@@ -1,0 +1,31 @@
+"""Resource elasticity (§4): event-driven cluster simulation, the elastic
+weighted-fair-sharing scheduler (Algorithm 1), and the static priority
+baseline."""
+
+from repro.elastic.jobs import JobSpec, JobState, JobStatus
+from repro.elastic.simulator import ClusterSimulator, SimulationResult
+from repro.elastic.wfs import ElasticWFSScheduler
+from repro.elastic.priority import StaticPriorityScheduler
+from repro.elastic.trace import TABLE3_WORKLOADS, TraceJob, generate_trace, three_job_trace
+from repro.elastic.metrics import TraceMetrics, compute_metrics
+from repro.elastic.policies import apply_policy, fifo_priority, sjf_priority, srtf_priority
+
+__all__ = [
+    "ClusterSimulator",
+    "ElasticWFSScheduler",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
+    "SimulationResult",
+    "StaticPriorityScheduler",
+    "TABLE3_WORKLOADS",
+    "TraceJob",
+    "TraceMetrics",
+    "apply_policy",
+    "compute_metrics",
+    "fifo_priority",
+    "sjf_priority",
+    "srtf_priority",
+    "generate_trace",
+    "three_job_trace",
+]

@@ -1,0 +1,54 @@
+"""Scheduling metrics: JCT, queuing delay, makespan, utilization (§6.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.elastic.simulator import SimulationResult
+
+__all__ = ["TraceMetrics", "compute_metrics", "improvement"]
+
+
+@dataclass(frozen=True)
+class TraceMetrics:
+    """Summary of one simulated trace."""
+
+    scheduler_name: str
+    makespan: float
+    avg_jct: float
+    median_jct: float
+    median_queuing_delay: float
+    utilization: float
+    jcts: Dict[int, float]
+    queuing_delays: Dict[int, float]
+
+
+def compute_metrics(result: SimulationResult) -> TraceMetrics:
+    """Compute the §6.4 summary metrics from a simulation result."""
+    jcts: Dict[int, float] = {}
+    delays: Dict[int, float] = {}
+    for job_id, state in result.jobs.items():
+        jcts[job_id] = state.jct()
+        delays[job_id] = state.queuing_delay()
+    jct_values = list(jcts.values())
+    delay_values = list(delays.values())
+    return TraceMetrics(
+        scheduler_name=result.scheduler_name,
+        makespan=result.makespan,
+        avg_jct=float(np.mean(jct_values)),
+        median_jct=float(np.median(jct_values)),
+        median_queuing_delay=float(np.median(delay_values)),
+        utilization=result.utilization(),
+        jcts=jcts,
+        queuing_delays=delays,
+    )
+
+
+def improvement(baseline: float, treatment: float) -> float:
+    """Relative reduction: +0.45 means the treatment is 45% lower."""
+    if baseline == 0:
+        return 0.0
+    return (baseline - treatment) / baseline

@@ -1,0 +1,51 @@
+"""Priority policies for the elastic WFS scheduler (§4.2).
+
+The paper notes that WFS priorities "can be set to arbitrary attributes of
+the job to express a variety of scheduling objectives, such as Shortest Job
+First (SJF) and Shortest Remaining Time First (SRTF)".  These helpers
+compute those priority values from job state; the scheduler itself stays
+unchanged — policy is just a priority function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.elastic.jobs import JobSpec, JobState
+
+__all__ = ["sjf_priority", "srtf_priority", "fifo_priority", "apply_policy"]
+
+
+def sjf_priority(state: JobState) -> float:
+    """Shortest Job First: priority inversely proportional to total work."""
+    runtime = state.spec.serial_runtime(state.spec.demand_gpus)
+    return 1.0 / max(runtime, 1e-9)
+
+
+def srtf_priority(state: JobState) -> float:
+    """Shortest Remaining Time First: based on remaining steps."""
+    if state.spec.total_steps == 0:
+        return 1e9
+    remaining = state.remaining_steps * state.spec.step_time(state.spec.demand_gpus)
+    return 1.0 / max(remaining, 1e-9)
+
+
+def fifo_priority(state: JobState) -> float:
+    """First-in-first-out: earlier arrivals get higher priority."""
+    return 1.0 / (1.0 + state.spec.arrival_time)
+
+
+def apply_policy(specs: Sequence[JobSpec],
+                 policy: Callable[[JobState], float]) -> Dict[int, JobSpec]:
+    """Return copies of the specs with policy-derived priorities.
+
+    Because :class:`JobSpec` is frozen, this produces new specs; pass the
+    values to the simulator in place of the originals.
+    """
+    from dataclasses import replace
+
+    out: Dict[int, JobSpec] = {}
+    for spec in specs:
+        priority = policy(JobState(spec=spec))
+        out[spec.job_id] = replace(spec, priority=priority)
+    return out

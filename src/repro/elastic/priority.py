@@ -1,0 +1,38 @@
+"""The static priority baseline scheduler (§6.4).
+
+Orders waiting jobs by descending priority and starts a job only when its
+full demand is free.  Running jobs are never resized or preempted — the
+vanilla-framework constraint that resource allocations are fixed for a job's
+lifetime (§2.2).  No backfilling: a large high-priority job at the head of
+the queue blocks smaller lower-priority jobs behind it, which is the
+behaviour that strands GPUs in Figures 10b and 11 (bottom).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.elastic.jobs import JobState
+
+__all__ = ["StaticPriorityScheduler"]
+
+
+class StaticPriorityScheduler:
+    """Non-elastic priority scheduler: fixed allocations, strict ordering."""
+
+    name = "static-priority"
+    elastic = False
+
+    def allocate(self, time: float, total_gpus: int, running: List[JobState],
+                 queued: List[JobState]) -> Dict[int, int]:
+        alloc = {job.job_id: job.gpus for job in running}  # never resized
+        free = total_gpus - sum(alloc.values())
+        pending = sorted(queued, key=lambda j: (-j.spec.priority, j.spec.arrival_time,
+                                                j.job_id))
+        for job in pending:
+            if job.spec.demand_gpus <= free:
+                alloc[job.job_id] = job.spec.demand_gpus
+                free -= job.spec.demand_gpus
+            else:
+                break  # strict priority order, no backfill
+        return alloc

@@ -1,0 +1,176 @@
+"""Event-driven cluster simulator for the elasticity experiments (§6.4).
+
+Between events every running job progresses at a constant rate determined by
+its current allocation (steps/second from the perf model).  Events are job
+arrivals and completions; after each event the scheduler recomputes target
+allocations, resizes are applied (with a migration delay for elastic
+schedulers), and completion times are re-predicted.
+
+The simulator records per-job allocation logs — exactly what Figures 10a/10b
+and 11 plot — and feeds :mod:`repro.elastic.metrics`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.elastic.jobs import JobSpec, JobState, JobStatus
+from repro.hardware.perfmodel import PerfModel
+
+__all__ = ["ClusterSimulator", "SimulationResult", "Scheduler"]
+
+_EPS = 1e-9
+
+
+class Scheduler(Protocol):
+    """Scheduler plug-in interface."""
+
+    name: str
+    elastic: bool
+
+    def allocate(self, time: float, total_gpus: int, running: List[JobState],
+                 queued: List[JobState]) -> Dict[int, int]:
+        ...
+
+
+@dataclass
+class SimulationResult:
+    """Full record of one simulated trace."""
+
+    scheduler_name: str
+    total_gpus: int
+    jobs: Dict[int, JobState]
+    makespan: float
+    # (time, {job_id: gpus}) snapshots after every event.
+    allocation_history: List[Tuple[float, Dict[int, int]]] = field(default_factory=list)
+
+    def job(self, job_id: int) -> JobState:
+        return self.jobs[job_id]
+
+    def utilization(self) -> float:
+        """Average fraction of GPUs busy between t=0 and the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        busy = 0.0
+        history = self.allocation_history
+        for (t0, alloc), (t1, _) in zip(history, history[1:] + [(self.makespan, {})]):
+            span = max(0.0, min(t1, self.makespan) - t0)
+            busy += span * sum(alloc.values())
+        return busy / (self.total_gpus * self.makespan)
+
+
+class ClusterSimulator:
+    """Simulates a trace of jobs on a homogeneous GPU cluster."""
+
+    def __init__(self, total_gpus: int, scheduler: Scheduler,
+                 resize_delay: float = 1.0, perf: Optional[PerfModel] = None) -> None:
+        if total_gpus < 1:
+            raise ValueError("total_gpus must be >= 1")
+        if resize_delay < 0:
+            raise ValueError("resize_delay must be >= 0")
+        self.total_gpus = total_gpus
+        self.scheduler = scheduler
+        self.resize_delay = resize_delay
+        self.perf = perf or PerfModel()
+
+    def run(self, specs: Sequence[JobSpec], max_time: float = 10_000_000.0,
+            ) -> SimulationResult:
+        """Simulate until all jobs finish (or ``max_time``)."""
+        if not specs:
+            raise ValueError("no jobs in trace")
+        ids = [s.job_id for s in specs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids in trace")
+        jobs: Dict[int, JobState] = {s.job_id: JobState(spec=s) for s in specs}
+        pending_arrivals = sorted(specs, key=lambda s: (s.arrival_time, s.job_id))
+        arrived: List[JobState] = []
+        history: List[Tuple[float, Dict[int, int]]] = []
+        # Per-job progress penalty applied at the next advance (resize cost).
+        stall_until: Dict[int, float] = {}
+        time = 0.0
+
+        def reallocate(now: float) -> None:
+            running = [j for j in arrived if j.status == JobStatus.RUNNING]
+            queued = [j for j in arrived if j.status == JobStatus.QUEUED]
+            target = self.scheduler.allocate(now, self.total_gpus, running, queued)
+            used = sum(target.values())
+            if used > self.total_gpus:
+                raise RuntimeError(
+                    f"{self.scheduler.name} over-allocated {used} of "
+                    f"{self.total_gpus} GPUs at t={now:.1f}"
+                )
+            for job in arrived:
+                if job.status == JobStatus.FINISHED:
+                    continue
+                new_gpus = target.get(job.job_id, 0)
+                if new_gpus != job.gpus:
+                    was_running = job.gpus > 0
+                    job.set_allocation(now, new_gpus)
+                    if was_running and new_gpus > 0 and self.scheduler.elastic:
+                        stall_until[job.job_id] = now + self.resize_delay
+            history.append((now, {j.job_id: j.gpus for j in arrived
+                                  if j.status == JobStatus.RUNNING}))
+
+        while True:
+            active = [j for j in arrived if j.status != JobStatus.FINISHED]
+            if not active and not pending_arrivals:
+                break
+            # Predict the next completion under current rates.
+            next_finish: Optional[Tuple[float, JobState]] = None
+            for job in active:
+                if job.status != JobStatus.RUNNING or job.gpus == 0:
+                    continue
+                start = max(time, stall_until.get(job.job_id, time))
+                rate = job.spec.throughput_steps(job.gpus, self.perf)
+                eta = start + job.remaining_steps / rate
+                if next_finish is None or eta < next_finish[0]:
+                    next_finish = (eta, job)
+            next_arrival = pending_arrivals[0].arrival_time if pending_arrivals else None
+            if next_finish is None and next_arrival is None:
+                raise RuntimeError(
+                    f"deadlock at t={time:.1f}: jobs queued but nothing running "
+                    f"and no arrivals pending"
+                )
+            candidates = [c for c in (
+                next_finish[0] if next_finish else None, next_arrival) if c is not None]
+            next_time = min(candidates)
+            if next_time > max_time:
+                raise RuntimeError(f"simulation exceeded max_time={max_time}")
+            # Advance all running jobs to next_time.
+            for job in active:
+                if job.status == JobStatus.RUNNING and job.gpus > 0:
+                    start = max(time, stall_until.get(job.job_id, time))
+                    span = max(0.0, next_time - start)
+                    rate = job.spec.throughput_steps(job.gpus, self.perf)
+                    job.steps_done = min(job.spec.total_steps,
+                                         job.steps_done + span * rate)
+            time = next_time
+            changed = False
+            # Arrivals at this instant.
+            while pending_arrivals and pending_arrivals[0].arrival_time <= time + _EPS:
+                spec = pending_arrivals.pop(0)
+                arrived.append(jobs[spec.job_id])
+                changed = True
+            # Completions at this instant.
+            for job in active:
+                if (job.status == JobStatus.RUNNING
+                        and job.remaining_steps <= _EPS * max(1, job.spec.total_steps)):
+                    job.steps_done = job.spec.total_steps
+                    job.finish_time = time
+                    job.status = JobStatus.FINISHED
+                    job.allocation_log.append((time, 0))
+                    job.gpus = 0
+                    changed = True
+            if changed:
+                reallocate(time)
+
+        makespan = max((j.finish_time or 0.0) for j in jobs.values())
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            total_gpus=self.total_gpus,
+            jobs=jobs,
+            makespan=makespan,
+            allocation_history=history,
+        )

@@ -1,0 +1,126 @@
+"""The elastic weighted-fair-sharing scheduler (§4.2, Algorithm 1).
+
+Fair shares are proportional to job priority, capped by per-job demand, and
+integerized with largest-remainder rounding.  On every event the scheduler
+expands current allocations, then admits queued jobs (highest priority
+first) as long as admitting the next one does not reduce the allocation of
+any strictly higher-priority job — Algorithm 1's admission condition.
+
+Downsizing and upsizing running jobs is free of restarts because jobs resize
+by redistributing virtual nodes (§4.1); the simulator charges a small
+migration delay per resize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.elastic.jobs import JobState, JobStatus
+
+__all__ = ["ElasticWFSScheduler", "weighted_fair_shares"]
+
+
+def weighted_fair_shares(total_gpus: int, jobs: Sequence[JobState]) -> Dict[int, int]:
+    """Integer WFS allocation: proportional to priority, capped by demand.
+
+    Water-filling handles caps: when a job's share exceeds its demand, the
+    surplus is re-divided among the uncapped jobs.  The final integerization
+    uses largest-remainder rounding with deterministic tie-breaks (higher
+    priority, then lower job id), and guarantees every job at least
+    ``min_gpus`` when capacity allows.
+    """
+    if total_gpus < 0:
+        raise ValueError("total_gpus must be >= 0")
+    if not jobs:
+        return {}
+    # Continuous water-filling with demand caps.
+    shares: Dict[int, float] = {j.job_id: 0.0 for j in jobs}
+    active = list(jobs)
+    remaining = float(total_gpus)
+    while active and remaining > 1e-9:
+        total_w = sum(j.spec.priority for j in active)
+        capped = []
+        progressed = False
+        for j in active:
+            quota = remaining * j.spec.priority / total_w
+            room = j.spec.demand_gpus - shares[j.job_id]
+            if quota >= room - 1e-12:
+                shares[j.job_id] += room
+                capped.append(j)
+                progressed = True
+        if capped:
+            remaining = total_gpus - sum(shares.values())
+            active = [j for j in active if j not in capped]
+            continue
+        for j in active:
+            shares[j.job_id] += remaining * j.spec.priority / total_w
+        remaining = 0.0
+    # Largest-remainder integerization.
+    floors = {jid: int(s) for jid, s in shares.items()}
+    leftover = total_gpus - sum(floors.values())
+    leftover = min(leftover, sum(
+        j.spec.demand_gpus - floors[j.job_id] for j in jobs
+    ))
+    by_remainder = sorted(
+        jobs,
+        key=lambda j: (
+            -(shares[j.job_id] - floors[j.job_id]),
+            -j.spec.priority,
+            j.job_id,
+        ),
+    )
+    alloc = dict(floors)
+    for j in by_remainder:
+        if leftover <= 0:
+            break
+        if alloc[j.job_id] < j.spec.demand_gpus:
+            alloc[j.job_id] += 1
+            leftover -= 1
+    # Floor at min_gpus where possible, stealing from the lowest-priority
+    # over-provisioned jobs.
+    donors = sorted(jobs, key=lambda j: (j.spec.priority, -j.job_id))
+    for j in sorted(jobs, key=lambda j: (-j.spec.priority, j.job_id)):
+        need = j.spec.min_gpus - alloc[j.job_id]
+        for donor in donors:
+            if need <= 0:
+                break
+            if donor.job_id == j.job_id:
+                continue
+            spare = alloc[donor.job_id] - donor.spec.min_gpus
+            if spare > 0:
+                take = min(spare, need)
+                alloc[donor.job_id] -= take
+                alloc[j.job_id] += take
+                need -= take
+    return alloc
+
+
+class ElasticWFSScheduler:
+    """Algorithm 1: admit queued jobs while higher-priority shares survive."""
+
+    name = "virtualflow-wfs"
+    elastic = True
+
+    def allocate(self, time: float, total_gpus: int, running: List[JobState],
+                 queued: List[JobState]) -> Dict[int, int]:
+        """Return the target allocation {job_id: gpus} after this event."""
+        admitted = list(running)
+        current = weighted_fair_shares(total_gpus, admitted) if admitted else {}
+        # Highest priority first; FIFO within a priority level.
+        pending = sorted(queued, key=lambda j: (-j.spec.priority, j.spec.arrival_time,
+                                                j.job_id))
+        for job in pending:
+            trial = weighted_fair_shares(total_gpus, admitted + [job])
+            if trial.get(job.job_id, 0) < job.spec.min_gpus:
+                break
+            hurts_higher_priority = any(
+                other.spec.priority > job.spec.priority
+                and trial[other.job_id] < min(other.spec.demand_gpus,
+                                              current.get(other.job_id, 0))
+                for other in admitted
+            )
+            if hurts_higher_priority:
+                break
+            admitted.append(job)
+            current = trial
+        return current

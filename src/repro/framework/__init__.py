@@ -1,0 +1,96 @@
+"""A small, deterministic, NumPy deep-learning framework.
+
+This is the training substrate VirtualFlow runs on — the stand-in for
+TensorFlow in the original system.  Layers implement explicit
+``forward``/``backward`` passes (no taped autograd), which keeps execution
+order — and therefore floating-point results — fully deterministic.  All
+stochasticity (initialization, dropout) is injected through explicit
+:class:`numpy.random.Generator` arguments so the virtual-node layer above can
+key randomness to logical, placement-free coordinates.
+"""
+
+from repro.framework.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2D,
+    LayerNorm,
+    MaxPool2D,
+    Module,
+    MultiHeadSelfAttention,
+    ReLU,
+    GELU,
+    Tanh,
+    Residual,
+    Sequential,
+    TransformerBlock,
+)
+from repro.framework.losses import Loss, MSELoss, SoftmaxCrossEntropy
+from repro.framework.metrics import accuracy, top_k_accuracy
+from repro.framework.models import (
+    MLPClassifier,
+    ResourceFootprint,
+    SmallCNN,
+    TinyBert,
+    TinyTransformer,
+    Workload,
+    WORKLOADS,
+    build_model,
+    get_workload,
+)
+from repro.framework.optimizers import LAMB, SGD, Adam, AdamW, Momentum, Optimizer
+from repro.framework.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    StepDecaySchedule,
+    WarmupSchedule,
+    linear_scaling_rule,
+)
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "BatchNorm",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GELU",
+    "GlobalAvgPool2D",
+    "LAMB",
+    "LayerNorm",
+    "Loss",
+    "MLPClassifier",
+    "MSELoss",
+    "MaxPool2D",
+    "Module",
+    "Momentum",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "ReLU",
+    "Residual",
+    "ResourceFootprint",
+    "SGD",
+    "Sequential",
+    "SmallCNN",
+    "SoftmaxCrossEntropy",
+    "StepDecaySchedule",
+    "Tanh",
+    "TinyBert",
+    "TinyTransformer",
+    "TransformerBlock",
+    "WORKLOADS",
+    "Workload",
+    "WarmupSchedule",
+    "accuracy",
+    "build_model",
+    "linear_scaling_rule",
+    "get_workload",
+    "top_k_accuracy",
+]

@@ -1,0 +1,82 @@
+"""Loss functions.
+
+Losses return *mean-per-example* values and gradients already divided by the
+local batch size, matching the convention used by TensorFlow/Horovod that the
+paper's weighted gradient synchronization (§5.2) is defined against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.framework.layers import softmax
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MSELoss"]
+
+
+class Loss:
+    """Interface: ``forward(logits, targets) -> scalar``, then ``backward()``."""
+
+    def forward(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(outputs, targets)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Mean cross-entropy over integer class targets."""
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = label_smoothing
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected (batch, classes) logits, got shape {logits.shape}")
+        n, k = logits.shape
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.shape != (n,):
+            raise ValueError(f"targets shape {targets.shape} != ({n},)")
+        probs = softmax(logits, axis=-1)
+        eps = self.label_smoothing
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(n), targets] = 1.0
+        soft = onehot * (1 - eps) + eps / k
+        self._cache = (probs, soft)
+        logp = np.log(np.clip(probs, 1e-12, None))
+        return float(-(soft * logp).sum() / n)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        probs, soft = self._cache
+        n = probs.shape[0]
+        return (probs - soft) / n
+
+
+class MSELoss(Loss):
+    """Mean squared error."""
+
+    def __init__(self) -> None:
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=outputs.dtype)
+        if targets.shape != outputs.shape:
+            raise ValueError(f"shape mismatch: {outputs.shape} vs {targets.shape}")
+        self._cache = (outputs, targets)
+        return float(np.mean((outputs - targets) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        outputs, targets = self._cache
+        return 2.0 * (outputs - targets) / outputs.size

@@ -1,0 +1,23 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "top_k_accuracy"]
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    preds = np.argmax(logits, axis=-1)
+    return float(np.mean(preds == np.asarray(targets)))
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Top-k classification accuracy."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, logits.shape[-1])
+    topk = np.argpartition(-logits, k - 1, axis=-1)[:, :k]
+    targets = np.asarray(targets)
+    return float(np.mean(np.any(topk == targets[:, None], axis=1)))

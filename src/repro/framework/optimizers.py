@@ -1,0 +1,162 @@
+"""Optimizers operating on flat parameter/gradient dicts.
+
+Updates are applied *in place* so that every virtual node's view of the model
+(which aliases the same arrays) advances together — mirroring how the real
+system keeps a single cached copy of the model per accelerator (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Momentum", "Adam", "AdamW", "LAMB"]
+
+Params = Dict[str, np.ndarray]
+
+
+class Optimizer:
+    """Base optimizer; subclasses implement :meth:`_update`."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.step_count = 0
+
+    def step(self, params: Params, grads: Params) -> None:
+        """Apply one update. ``grads`` must share keys with ``params``."""
+        missing = set(params) - set(grads)
+        if missing:
+            raise KeyError(f"gradients missing for: {sorted(missing)[:5]}")
+        self.step_count += 1
+        for key in sorted(params):  # sorted: deterministic update order
+            self._update(key, params[key], grads[key])
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Slot variables, for checkpoint/migration. Overridden by stateful opts."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        pass
+
+    def num_slots_per_param(self) -> int:
+        """How many parameter-sized slot buffers this optimizer keeps.
+
+        Used by the memory model to account for optimizer state on device.
+        """
+        return 0
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def _update(self, key, param, grad):
+        param -= self.lr * grad
+
+
+class Momentum(Optimizer):
+    """SGD with (optionally Nesterov) momentum."""
+
+    def __init__(self, lr: float, momentum: float = 0.9, nesterov: bool = False) -> None:
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _update(self, key, param, grad):
+        v = self._velocity.setdefault(key, np.zeros_like(param))
+        v *= self.momentum
+        v += grad
+        if self.nesterov:
+            param -= self.lr * (grad + self.momentum * v)
+        else:
+            param -= self.lr * v
+
+    def state_dict(self):
+        return {f"velocity.{k}": v.copy() for k, v in self._velocity.items()}
+
+    def load_state_dict(self, state):
+        for key, value in state.items():
+            if key.startswith("velocity."):
+                self._velocity[key[len("velocity."):]] = value.copy()
+
+    def num_slots_per_param(self) -> int:
+        return 1
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8) -> None:
+        super().__init__(lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+
+    def _moments(self, key: str, param: np.ndarray, grad: np.ndarray):
+        m = self._m.setdefault(key, np.zeros_like(param))
+        v = self._v.setdefault(key, np.zeros_like(param))
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad * grad
+        m_hat = m / (1 - self.beta1**self.step_count)
+        v_hat = v / (1 - self.beta2**self.step_count)
+        return m_hat, v_hat
+
+    def _update(self, key, param, grad):
+        m_hat, v_hat = self._moments(key, param, grad)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self):
+        out = {f"m.{k}": v.copy() for k, v in self._m.items()}
+        out.update({f"v.{k}": v.copy() for k, v in self._v.items()})
+        return out
+
+    def load_state_dict(self, state):
+        for key, value in state.items():
+            if key.startswith("m."):
+                self._m[key[2:]] = value.copy()
+            elif key.startswith("v."):
+                self._v[key[2:]] = value.copy()
+
+    def num_slots_per_param(self) -> int:
+        return 2
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8, weight_decay: float = 0.01) -> None:
+        super().__init__(lr, beta1, beta2, eps)
+        self.weight_decay = weight_decay
+
+    def _update(self, key, param, grad):
+        m_hat, v_hat = self._moments(key, param, grad)
+        param -= self.lr * (m_hat / (np.sqrt(v_hat) + self.eps) + self.weight_decay * param)
+
+
+class LAMB(AdamW):
+    """Layer-wise adaptive moments (You et al.), used for huge-batch training.
+
+    Included because the paper's motivation cites LAMB-style optimizers as the
+    per-workload tuning VirtualFlow makes unnecessary; having it implemented
+    lets benchmarks contrast "retune with LAMB" against "fix batch via VNs".
+    """
+
+    def _update(self, key, param, grad):
+        m_hat, v_hat = self._moments(key, param, grad)
+        update = m_hat / (np.sqrt(v_hat) + self.eps) + self.weight_decay * param
+        w_norm = float(np.linalg.norm(param))
+        u_norm = float(np.linalg.norm(update))
+        trust = w_norm / u_norm if w_norm > 0 and u_norm > 0 else 1.0
+        param -= self.lr * trust * update

@@ -1,0 +1,124 @@
+"""Learning-rate schedules and the linear scaling rule.
+
+The paper's motivation cites Goyal et al. [17]: when the batch size changes,
+practitioners must retune the learning rate (linearly) and add warmup to
+preserve convergence — a workload-specific, error-prone ritual that
+VirtualFlow makes unnecessary by never changing the batch size at all.
+These schedules exist so benchmarks can compare against the "retuned TF*"
+alternative and so the library is complete as a training substrate.
+
+Schedules are pure functions of the step index; apply them by assigning
+``optimizer.lr = schedule(step)`` before each update.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = [
+    "ConstantSchedule",
+    "WarmupSchedule",
+    "StepDecaySchedule",
+    "CosineSchedule",
+    "linear_scaling_rule",
+]
+
+
+def linear_scaling_rule(base_lr: float, base_batch: int, new_batch: int) -> float:
+    """Goyal et al.'s rule: LR scales linearly with the batch size.
+
+    ``lr_new = base_lr * new_batch / base_batch``.  This is the manual
+    retuning step the TF* baseline omits (per the paper's §6.2 setup) and
+    that VirtualFlow renders unnecessary.
+    """
+    if base_lr <= 0:
+        raise ValueError(f"base_lr must be positive, got {base_lr}")
+    if base_batch < 1 or new_batch < 1:
+        raise ValueError("batch sizes must be >= 1")
+    return base_lr * new_batch / base_batch
+
+
+@dataclass(frozen=True)
+class ConstantSchedule:
+    """A fixed learning rate."""
+
+    lr: float
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+@dataclass(frozen=True)
+class WarmupSchedule:
+    """Linear warmup from ``warmup_fraction * lr`` to ``lr``, then constant.
+
+    Goyal et al. pair the linear scaling rule with gradual warmup to avoid
+    early divergence at large batch sizes.
+    """
+
+    lr: float
+    warmup_steps: int
+    warmup_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.warmup_steps < 0:
+            raise ValueError("warmup_steps must be >= 0")
+        if not 0 < self.warmup_fraction <= 1:
+            raise ValueError("warmup_fraction must be in (0, 1]")
+
+    def __call__(self, step: int) -> float:
+        if self.warmup_steps == 0 or step >= self.warmup_steps:
+            return self.lr
+        start = self.lr * self.warmup_fraction
+        frac = step / self.warmup_steps
+        return start + (self.lr - start) * frac
+
+
+@dataclass(frozen=True)
+class StepDecaySchedule:
+    """Multiply the LR by ``gamma`` at each milestone step (ResNet-style)."""
+
+    lr: float
+    milestones: Tuple[int, ...]
+    gamma: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if not 0 < self.gamma < 1:
+            raise ValueError("gamma must be in (0, 1)")
+        if list(self.milestones) != sorted(self.milestones):
+            raise ValueError("milestones must be sorted")
+
+    def __call__(self, step: int) -> float:
+        drops = sum(1 for m in self.milestones if step >= m)
+        return self.lr * (self.gamma ** drops)
+
+
+@dataclass(frozen=True)
+class CosineSchedule:
+    """Cosine annealing from ``lr`` to ``min_lr`` over ``total_steps``."""
+
+    lr: float
+    total_steps: int
+    min_lr: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if self.min_lr < 0 or self.min_lr > self.lr:
+            raise ValueError("min_lr must be in [0, lr]")
+
+    def __call__(self, step: int) -> float:
+        t = min(step, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (1 + math.cos(math.pi * t))

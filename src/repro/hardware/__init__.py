@@ -1,0 +1,44 @@
+"""Simulated accelerator hardware: device catalog, memory ledger, cluster,
+interconnect, and the analytic step-time model.
+
+This subpackage is the stand-in for the physical GPU testbed in the paper
+(V100/P100/K80/RTX 2080 Ti servers).  Numeric training runs on the CPU, but
+every throughput, step-time, and memory number reported by benchmarks comes
+from these models, calibrated to the ratios the paper reports.
+"""
+
+from repro.hardware.device import (
+    DEVICE_SPECS,
+    Device,
+    DeviceSpec,
+    OutOfDeviceMemory,
+    get_spec,
+)
+from repro.hardware.cluster import Cluster
+from repro.hardware.interconnect import Interconnect, ring_allreduce_time
+from repro.hardware.perfmodel import PerfModel, StepTimeBreakdown
+from repro.hardware.memory import MemoryLedger, MemoryTimeline, simulate_step_memory
+from repro.hardware.sync_strategy import (
+    AllReduceStrategy,
+    ParameterServerStrategy,
+    SyncStrategy,
+)
+
+__all__ = [
+    "AllReduceStrategy",
+    "Cluster",
+    "DEVICE_SPECS",
+    "Device",
+    "DeviceSpec",
+    "Interconnect",
+    "MemoryLedger",
+    "MemoryTimeline",
+    "OutOfDeviceMemory",
+    "ParameterServerStrategy",
+    "PerfModel",
+    "StepTimeBreakdown",
+    "SyncStrategy",
+    "get_spec",
+    "ring_allreduce_time",
+    "simulate_step_memory",
+]

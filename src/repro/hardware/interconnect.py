@@ -1,0 +1,60 @@
+"""Interconnect model: gradient synchronization cost.
+
+The paper's testbed connects servers over 16 Gbps links and synchronizes via
+Horovod's ring all-reduce.  We model the standard ring cost:
+
+    time = latency * (n - 1) + 2 * (n - 1) / n * bytes / bandwidth
+
+which captures the two properties the evaluation depends on: cost grows with
+model size and is nearly flat in the number of workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB
+
+__all__ = ["Interconnect", "ring_allreduce_time"]
+
+# 16 Gbps (paper §6.1) in bytes/second.
+DEFAULT_BANDWIDTH = 2 * GB
+DEFAULT_LATENCY = 0.5e-3
+
+
+def ring_allreduce_time(nbytes: int, n_workers: int,
+                        bandwidth: float = DEFAULT_BANDWIDTH,
+                        latency: float = DEFAULT_LATENCY) -> float:
+    """Ring all-reduce completion time for ``nbytes`` across ``n_workers``."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if n_workers == 1:
+        return 0.0
+    transfer = 2.0 * (n_workers - 1) / n_workers * nbytes / bandwidth
+    return latency * (n_workers - 1) + transfer
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A cluster interconnect with fixed bandwidth and per-hop latency."""
+
+    bandwidth: float = DEFAULT_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+
+    def allreduce_time(self, nbytes: int, n_workers: int) -> float:
+        return ring_allreduce_time(nbytes, n_workers, self.bandwidth, self.latency)
+
+    def allgather_time(self, nbytes: int, n_workers: int) -> float:
+        """All-gather used by resize state migration (§4.1); ~same cost as all-reduce."""
+        if n_workers <= 1:
+            return 0.0
+        transfer = (n_workers - 1) / n_workers * nbytes / self.bandwidth * n_workers
+        return self.latency * (n_workers - 1) + transfer

@@ -1,0 +1,158 @@
+"""Device memory accounting and the Figure-6 style step memory timeline.
+
+:class:`MemoryLedger` tracks live bytes per category with peak statistics —
+the simulated analogue of a GPU memory allocator.  :func:`simulate_step_memory`
+replays the virtual-node execution of one or more training steps (paper
+Figure 5) and emits a time series of per-category usage, reproducing the
+paper's Figure 6 breakdown where activations dominate at the peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.units import format_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.framework.models import Workload
+    from repro.hardware.device import DeviceSpec
+
+__all__ = ["MemoryLedger", "MemoryTimeline", "simulate_step_memory"]
+
+CATEGORIES = ("parameters", "grad_buffer", "optimizer", "activations", "inputs",
+              "kernel_temp", "other")
+
+
+class MemoryLedger:
+    """Per-category byte accounting with capacity enforcement."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._live: Dict[str, int] = {}
+        self.peak = 0
+        self.peak_by_category: Dict[str, int] = {}
+
+    @property
+    def used(self) -> int:
+        return sum(self._live.values())
+
+    def live(self, category: str) -> int:
+        return self._live.get(category, 0)
+
+    def breakdown(self) -> Dict[str, int]:
+        return dict(self._live)
+
+    def allocate(self, category: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"cannot allocate negative bytes ({nbytes})")
+        new_total = self.used + nbytes
+        if new_total > self.capacity_bytes:
+            raise MemoryError(
+                f"allocation of {format_bytes(nbytes)} for {category!r} would use "
+                f"{format_bytes(new_total)} of {format_bytes(self.capacity_bytes)}"
+            )
+        self._live[category] = self._live.get(category, 0) + nbytes
+        self.peak = max(self.peak, new_total)
+        self.peak_by_category[category] = max(
+            self.peak_by_category.get(category, 0), self._live[category]
+        )
+
+    def free(self, category: str, nbytes: Optional[int] = None) -> None:
+        live = self._live.get(category, 0)
+        if nbytes is None:
+            nbytes = live
+        if nbytes > live:
+            raise ValueError(
+                f"cannot free {format_bytes(nbytes)} from {category!r}; only "
+                f"{format_bytes(live)} live"
+            )
+        self._live[category] = live - nbytes
+        if self._live[category] == 0:
+            del self._live[category]
+
+    def reset(self) -> None:
+        self._live.clear()
+        self.peak = 0
+        self.peak_by_category.clear()
+
+
+@dataclass
+class MemoryTimeline:
+    """Time series of per-category memory usage over simulated execution."""
+
+    times: List[float] = field(default_factory=list)
+    usage: List[Dict[str, int]] = field(default_factory=list)
+
+    def record(self, t: float, breakdown: Dict[str, int]) -> None:
+        self.times.append(t)
+        self.usage.append(dict(breakdown))
+
+    @property
+    def peak(self) -> int:
+        return max((sum(u.values()) for u in self.usage), default=0)
+
+    def peak_by_category(self) -> Dict[str, int]:
+        peaks: Dict[str, int] = {}
+        for u in self.usage:
+            for cat, nbytes in u.items():
+                peaks[cat] = max(peaks.get(cat, 0), nbytes)
+        return peaks
+
+    def series(self, category: str) -> List[int]:
+        return [u.get(category, 0) for u in self.usage]
+
+
+def simulate_step_memory(
+    workload: "Workload",
+    spec: "DeviceSpec",
+    wave_batches: Sequence[int],
+    num_steps: int = 3,
+    grad_buffer: bool = True,
+    first_step_overhead: float = 2.0,
+) -> MemoryTimeline:
+    """Replay the Figure-5 execution and record a Figure-6 memory timeline.
+
+    ``wave_batches`` gives the per-wave local batch sizes (one entry per
+    virtual node on this device).  Parameters, the gradient buffer, and
+    optimizer slots stay resident across the whole step; activations and
+    inputs come and go per wave.  ``first_step_overhead`` stretches step 0 in
+    time, mirroring the paper's note that the first step is slower due to
+    initial graph optimization.
+    """
+    from repro.hardware.perfmodel import PerfModel  # local import: cycle guard
+
+    fp = workload.footprint
+    ledger = MemoryLedger(capacity_bytes=spec.memory_bytes)
+    timeline = MemoryTimeline()
+    perf = PerfModel()
+
+    # Step-invariant residents.
+    ledger.allocate("parameters", fp.param_bytes)
+    ledger.allocate("optimizer", fp.param_bytes * workload.optimizer_slots)
+    if grad_buffer:
+        ledger.allocate("grad_buffer", fp.param_bytes)
+    ledger.allocate("kernel_temp", fp.kernel_temp_bytes)
+    ledger.allocate("other", fp.other_bytes)
+
+    t = 0.0
+    timeline.record(t, ledger.breakdown())
+    for step in range(num_steps):
+        stretch = first_step_overhead if step == 0 else 1.0
+        for batch in wave_batches:
+            wave = perf.wave_time(workload, spec, batch) * stretch
+            # Inputs prefetched, then activations built during the forward pass.
+            ledger.allocate("inputs", batch * fp.input_bytes_per_example)
+            timeline.record(t + 0.1 * wave, ledger.breakdown())
+            ledger.allocate("activations", batch * fp.activation_bytes_per_example)
+            timeline.record(t + 0.5 * wave, ledger.breakdown())  # forward peak
+            # Backward pass releases activations and inputs.
+            ledger.free("activations")
+            ledger.free("inputs")
+            t += wave
+            timeline.record(t, ledger.breakdown())
+        t += perf.update_time(workload, spec) * stretch
+        timeline.record(t, ledger.breakdown())
+    return timeline

@@ -1,0 +1,149 @@
+"""Analytic step-time model.
+
+For a workload *w* on a device of type *d*, processing one wave (one virtual
+node) with local batch *b* takes::
+
+    wave_time = (alpha_w + beta_w * b) / compute_factor_d + aggregation_w,d
+
+where ``alpha`` is the fixed per-wave kernel-launch cost, ``beta`` the
+per-example cost (both calibrated on a V100), and ``aggregation`` is the
+§3.2 cost of folding raw gradients into the shared gradient buffer
+(model bytes / aggregation bandwidth) — present once per wave.
+
+One training step on a device with waves ``b_1..b_V`` plus the optimizer
+update costs::
+
+    device_time = sum_v wave_time(b_v) + update_cost_w / compute_factor_d
+
+and a distributed step is bottlenecked on the slowest device plus the ring
+all-reduce of the gradients — the ``max_i(t_i(b_i) * v_i + comm)`` objective
+of the heterogeneous solver (§5.1.2).
+
+This single model reproduces all of the paper's performance figures:
+
+* Fig 7 / 13 / 14: heterogeneous splits (via per-device compute factors);
+* Fig 17 bottom: throughput *rises* with virtual nodes for large models
+  because the expensive update amortizes over more examples;
+* Fig 18: splitting an in-memory batch into V waves pays V·alpha instead of
+  alpha, a small overhead (throughput stays within ~90% of vanilla).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Sequence
+
+from repro.hardware.interconnect import Interconnect
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.framework.models import Workload
+    from repro.hardware.device import DeviceSpec
+
+__all__ = ["PerfModel", "StepTimeBreakdown"]
+
+
+@dataclass(frozen=True)
+class StepTimeBreakdown:
+    """Component times for one distributed step."""
+
+    compute: float  # slowest device's wave compute, seconds
+    update: float   # optimizer update on the bottleneck device
+    comm: float     # gradient synchronization
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.update + self.comm
+
+
+class PerfModel:
+    """Step-time estimates for (workload, device, batch) combinations."""
+
+    def __init__(self, interconnect: Interconnect = Interconnect()) -> None:
+        self.interconnect = interconnect
+
+    # -- single-device components -------------------------------------------
+
+    def wave_time(self, workload: "Workload", spec: "DeviceSpec", batch: int) -> float:
+        """Time for one virtual node's forward+backward pass of ``batch``."""
+        if batch < 0:
+            raise ValueError(f"batch must be >= 0, got {batch}")
+        if batch == 0:
+            return 0.0
+        compute = (workload.v100_alpha + workload.v100_beta * batch) / spec.compute_factor
+        aggregation = workload.footprint.param_bytes / spec.aggregation_bandwidth
+        return compute + aggregation
+
+    def update_time(self, workload: "Workload", spec: "DeviceSpec") -> float:
+        """Optimizer update cost (once per step, regardless of wave count)."""
+        return workload.v100_update_cost / spec.compute_factor
+
+    def device_step_time(self, workload: "Workload", spec: "DeviceSpec",
+                         wave_batches: Sequence[int]) -> float:
+        """One device's step time: sequential waves + one model update."""
+        if len(wave_batches) == 0:
+            return 0.0
+        waves = sum(self.wave_time(workload, spec, b) for b in wave_batches)
+        return waves + self.update_time(workload, spec)
+
+    def vanilla_step_time(self, workload: "Workload", spec: "DeviceSpec", batch: int) -> float:
+        """Baseline (no virtual nodes): a single fused wave, no grad buffer."""
+        compute = (workload.v100_alpha + workload.v100_beta * batch) / spec.compute_factor
+        return compute + self.update_time(workload, spec)
+
+    # -- cluster-level --------------------------------------------------------
+
+    def step_breakdown(self, workload: "Workload",
+                       per_device_waves: Dict["DeviceSpec", Sequence[Sequence[int]]],
+                       ) -> StepTimeBreakdown:
+        """Breakdown for one synchronous distributed step.
+
+        ``per_device_waves`` maps each device spec to a list of wave-batch
+        sequences, one per physical device of that type, e.g.
+        ``{V100: [[256]*4, [256]*4], P100: [[128]*2]}``.
+        """
+        n_devices = sum(len(v) for v in per_device_waves.values())
+        if n_devices == 0:
+            raise ValueError("no devices in step")
+        slowest = 0.0
+        update = 0.0
+        for spec, device_list in per_device_waves.items():
+            for waves in device_list:
+                t = sum(self.wave_time(workload, spec, b) for b in waves)
+                if t >= slowest:
+                    slowest = t
+                    update = self.update_time(workload, spec)
+        comm = self.interconnect.allreduce_time(workload.footprint.param_bytes, n_devices)
+        return StepTimeBreakdown(compute=slowest, update=update, comm=comm)
+
+    def step_time(self, workload: "Workload",
+                  per_device_waves: Dict["DeviceSpec", Sequence[Sequence[int]]]) -> float:
+        return self.step_breakdown(workload, per_device_waves).total
+
+    def throughput(self, workload: "Workload",
+                   per_device_waves: Dict["DeviceSpec", Sequence[Sequence[int]]]) -> float:
+        """Examples per second for one synchronous step."""
+        total_examples = sum(
+            sum(waves) for device_list in per_device_waves.values() for waves in device_list
+        )
+        t = self.step_time(workload, per_device_waves)
+        return total_examples / t if t > 0 else 0.0
+
+    # -- homogeneous convenience ----------------------------------------------
+
+    def homogeneous_step_time(self, workload: "Workload", spec: "DeviceSpec",
+                              n_devices: int, global_batch: int,
+                              vn_per_device: int) -> float:
+        """Step time for an even split of ``global_batch`` across identical devices."""
+        if n_devices < 1 or vn_per_device < 1:
+            raise ValueError("n_devices and vn_per_device must be >= 1")
+        per_device = global_batch // n_devices
+        per_wave, rem = divmod(per_device, vn_per_device)
+        waves = [per_wave + (1 if i < rem else 0) for i in range(vn_per_device)]
+        return self.step_time(workload, {spec: [waves] * n_devices})
+
+    def homogeneous_throughput(self, workload: "Workload", spec: "DeviceSpec",
+                               n_devices: int, global_batch: int,
+                               vn_per_device: int) -> float:
+        t = self.homogeneous_step_time(workload, spec, n_devices, global_batch, vn_per_device)
+        usable = (global_batch // n_devices) * n_devices
+        return usable / t if t > 0 else 0.0

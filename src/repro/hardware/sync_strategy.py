@@ -1,0 +1,92 @@
+"""Gradient synchronization strategies: all-reduce vs parameter server.
+
+§2.3 notes that gradients can be synchronized either with the parameter
+server architecture or with all-reduce, "though the latter is increasingly
+common".  Both are modeled here as *cost* strategies: the synchronized
+values are identical (synchronous training), only the communication time
+differs, so strategies plug into the perf model without touching numerics.
+
+Cost models:
+
+* ring all-reduce: ``latency*(n-1) + 2*(n-1)/n * bytes / bandwidth``
+* parameter server with ``s`` shards: every worker pushes gradients to and
+  pulls parameters from the servers; per-server ingress is the bottleneck:
+  ``2 * bytes * n / (s * bandwidth) + 2 * latency``
+
+The crossover the literature reports falls out naturally: a single-shard PS
+scales linearly with workers while the ring stays flat, and adding shards
+buys the PS back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.interconnect import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, ring_allreduce_time
+
+__all__ = ["SyncStrategy", "AllReduceStrategy", "ParameterServerStrategy"]
+
+
+class SyncStrategy:
+    """Interface: time to synchronize ``nbytes`` across ``n_workers``."""
+
+    name: str = "abstract"
+
+    def sync_time(self, nbytes: int, n_workers: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AllReduceStrategy(SyncStrategy):
+    """Horovod-style ring all-reduce (the paper's implementation choice)."""
+
+    bandwidth: float = DEFAULT_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+    name: str = "allreduce"
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+
+    def sync_time(self, nbytes: int, n_workers: int) -> float:
+        return ring_allreduce_time(nbytes, n_workers, self.bandwidth, self.latency)
+
+
+@dataclass(frozen=True)
+class ParameterServerStrategy(SyncStrategy):
+    """Sharded parameter servers (Li et al., OSDI '14)."""
+
+    num_servers: int = 1
+    bandwidth: float = DEFAULT_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+    name: str = "parameter-server"
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+
+    def sync_time(self, nbytes: int, n_workers: int) -> float:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if n_workers == 1:
+            return 0.0
+        # Push gradients + pull fresh parameters, bottlenecked on the
+        # busiest server's link (bytes spread across shards, times workers).
+        per_server_bytes = nbytes / self.num_servers
+        transfer = 2.0 * per_server_bytes * n_workers / self.bandwidth
+        return 2.0 * self.latency + transfer
+
+    def crossover_workers(self, nbytes: int, ring: AllReduceStrategy) -> int:
+        """Smallest worker count at which the ring beats this PS setup."""
+        for n in range(2, 4097):
+            if ring.sync_time(nbytes, n) < self.sync_time(nbytes, n):
+                return n
+        return 4097

@@ -1,0 +1,6 @@
+"""Heterogeneous training (§5): solver and virtual-node assignment."""
+
+from repro.hetero.assignment import HeteroAssignment, TypeAssignment, materialize
+from repro.hetero.solver import HeterogeneousSolver
+
+__all__ = ["HeteroAssignment", "HeterogeneousSolver", "TypeAssignment", "materialize"]

@@ -1,0 +1,113 @@
+"""Heterogeneous assignments: how a global batch spans device types.
+
+A :class:`HeteroAssignment` is the solver's output and Table 4's row format:
+for each device type, how many GPUs participate, the per-GPU batch, and the
+number of virtual nodes per GPU.  :func:`materialize` converts one into the
+concrete (cluster, virtual node set, mapping) triple a trainer executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.mapping import Mapping
+from repro.core.virtual_node import VirtualNodeSet
+from repro.hardware.cluster import Cluster
+
+__all__ = ["TypeAssignment", "HeteroAssignment", "materialize"]
+
+
+@dataclass(frozen=True)
+class TypeAssignment:
+    """Per-device-type slice of a heterogeneous configuration."""
+
+    device_type: str
+    num_devices: int
+    batch_per_device: int     # Table 4's BS^GPU
+    vn_per_device: int        # Table 4's VN^GPU
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if self.batch_per_device < 1:
+            raise ValueError("batch_per_device must be >= 1")
+        if self.vn_per_device < 1:
+            raise ValueError("vn_per_device must be >= 1")
+        if self.batch_per_device % self.vn_per_device:
+            raise ValueError(
+                f"per-device batch {self.batch_per_device} not divisible by "
+                f"{self.vn_per_device} virtual nodes"
+            )
+
+    @property
+    def wave_batch(self) -> int:
+        return self.batch_per_device // self.vn_per_device
+
+    @property
+    def examples(self) -> int:
+        return self.num_devices * self.batch_per_device
+
+
+@dataclass(frozen=True)
+class HeteroAssignment:
+    """A complete configuration across device types, plus solver predictions."""
+
+    assignments: Tuple[TypeAssignment, ...]
+    predicted_step_time: float
+    predicted_throughput: float
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise ValueError("assignment covers no device types")
+        names = [a.device_type for a in self.assignments]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device types in assignment: {names}")
+
+    @property
+    def global_batch_size(self) -> int:
+        return sum(a.examples for a in self.assignments)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len(self.assignments) == 1
+
+    def device_counts(self) -> Dict[str, int]:
+        return {a.device_type: a.num_devices for a in self.assignments}
+
+    def describe(self) -> str:
+        parts = [
+            f"{a.num_devices}x{a.device_type} (BS/GPU {a.batch_per_device}, "
+            f"VN/GPU {a.vn_per_device})"
+            for a in self.assignments
+        ]
+        return (
+            f"B={self.global_batch_size}: " + " + ".join(parts)
+            + f" -> {self.predicted_throughput:.0f} ex/s"
+        )
+
+
+def materialize(assignment: HeteroAssignment) -> Tuple[Cluster, VirtualNodeSet, Mapping]:
+    """Build the concrete cluster, virtual node set, and mapping.
+
+    Virtual nodes are ordered by device type (sorted) then device, so the
+    data sharding matches the Table 4 layout deterministically.  Node sizes
+    may differ across types (§5.1's uneven relaxation) while the §5.2
+    weighted synchronization keeps gradients exact.
+    """
+    ordered = sorted(assignment.assignments, key=lambda a: a.device_type)
+    cluster = Cluster.from_counts({a.device_type: a.num_devices for a in ordered})
+    sizes: List[int] = []
+    counts: Dict[int, int] = {}
+    # Cluster.from_counts assigns ids grouped by sorted type name.
+    device_iter = iter(cluster.devices)
+    for ta in ordered:
+        for _ in range(ta.num_devices):
+            device = next(device_iter)
+            if device.spec.name != ta.device_type:
+                raise AssertionError("device ordering out of sync with assignment")
+            counts[device.device_id] = ta.vn_per_device
+            sizes.extend([ta.wave_batch] * ta.vn_per_device)
+    vn_set = VirtualNodeSet.uneven(sizes)
+    mapping = Mapping.by_counts(vn_set, cluster, counts)
+    return cluster, vn_set, mapping

@@ -1,0 +1,7 @@
+"""Offline profiling (§5.1.1): throughput-vs-batch-size curves per device type."""
+
+from repro.profiler.profiles import ProfileStore, ThroughputProfile
+from repro.profiler.offline import OfflineProfiler
+from repro.profiler.io import load_store, profile_from_dict, profile_to_dict, save_store
+
+__all__ = ["OfflineProfiler", "ProfileStore", "ThroughputProfile", "load_store", "profile_from_dict", "profile_to_dict", "save_store"]

@@ -1,0 +1,66 @@
+"""Profile persistence.
+
+Offline profiles are the one artifact users carry between machines (profile
+once per device type, reuse for every job), so they serialize to a plain
+JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.profiler.profiles import ProfileStore, ThroughputProfile
+
+__all__ = ["profile_to_dict", "profile_from_dict", "save_store", "load_store"]
+
+FORMAT_VERSION = 1
+
+
+def profile_to_dict(profile: ThroughputProfile) -> Dict:
+    return {
+        "workload": profile.workload,
+        "device_type": profile.device_type,
+        "step_times": {str(b): t for b, t in profile.step_times.items()},
+        "update_time": profile.update_time,
+        "comm_overhead": profile.comm_overhead,
+    }
+
+
+def profile_from_dict(data: Dict) -> ThroughputProfile:
+    try:
+        return ThroughputProfile(
+            workload=data["workload"],
+            device_type=data["device_type"],
+            step_times={int(b): float(t) for b, t in data["step_times"].items()},
+            update_time=float(data["update_time"]),
+            comm_overhead=float(data.get("comm_overhead", 0.0)),
+        )
+    except KeyError as exc:
+        raise ValueError(f"profile dict missing field {exc}") from None
+
+
+def save_store(store: ProfileStore, path: str) -> None:
+    """Write every profile in the store to a JSON file."""
+    profiles: List[Dict] = []
+    for (workload, device_type) in sorted(store._profiles):
+        profiles.append(profile_to_dict(store.get(workload, device_type)))
+    document = {"format_version": FORMAT_VERSION, "profiles": profiles}
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2)
+
+
+def load_store(path: str) -> ProfileStore:
+    """Read a profile store written by :func:`save_store`."""
+    with open(path) as fh:
+        document = json.load(fh)
+    if document.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported profile format {document.get('format_version')!r}")
+    store = ProfileStore()
+    for data in document["profiles"]:
+        store.add(profile_from_dict(data))
+    return store

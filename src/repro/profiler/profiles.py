@@ -1,0 +1,101 @@
+"""Throughput profile data structures.
+
+A :class:`ThroughputProfile` is the §5.1.1 artifact: measured step times over
+the power-of-2-like batch grid for one (workload, device type) pair, plus the
+measured communication overhead.  Profiles interpolate piecewise-linearly in
+step time, which is accurate because true step time is near-affine in batch
+size (fixed launch overhead + per-example cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ThroughputProfile", "ProfileStore"]
+
+
+@dataclass(frozen=True)
+class ThroughputProfile:
+    """Measured step times for one workload on one device type."""
+
+    workload: str
+    device_type: str
+    step_times: Dict[int, float]          # batch size -> seconds per wave
+    update_time: float                    # optimizer update, seconds
+    comm_overhead: float = 0.0            # distributed-vs-single delta (§5.1.2)
+
+    def __post_init__(self) -> None:
+        if not self.step_times:
+            raise ValueError("profile needs at least one batch size measurement")
+        if any(b < 1 for b in self.step_times):
+            raise ValueError("profiled batch sizes must be >= 1")
+        if any(t <= 0 for t in self.step_times.values()):
+            raise ValueError("profiled step times must be positive")
+
+    @property
+    def batch_sizes(self) -> List[int]:
+        return sorted(self.step_times)
+
+    @property
+    def max_batch(self) -> int:
+        """Largest batch that fit in device memory during profiling."""
+        return self.batch_sizes[-1]
+
+    def step_time(self, batch: int) -> float:
+        """Interpolated (or extrapolated) wave time for ``batch`` examples."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        sizes = self.batch_sizes
+        times = [self.step_times[b] for b in sizes]
+        if len(sizes) == 1:
+            # Single point: assume proportional scaling through it.
+            return times[0] * batch / sizes[0]
+        return float(np.interp(batch, sizes, times, left=None, right=None)) \
+            if sizes[0] <= batch <= sizes[-1] else self._extrapolate(batch, sizes, times)
+
+    def _extrapolate(self, batch: int, sizes: List[int], times: List[float]) -> float:
+        if batch < sizes[0]:
+            lo, hi = 0, 1
+        else:
+            lo, hi = len(sizes) - 2, len(sizes) - 1
+        slope = (times[hi] - times[lo]) / (sizes[hi] - sizes[lo])
+        return max(1e-9, times[lo] + slope * (batch - sizes[lo]))
+
+    def throughput(self, batch: int) -> float:
+        """Examples/second at ``batch`` (waves only, no update amortization)."""
+        return batch / self.step_time(batch)
+
+    def curve(self) -> List[Tuple[int, float]]:
+        """(batch, throughput) points — the Figure 7 left-hand curves."""
+        return [(b, self.throughput(b)) for b in self.batch_sizes]
+
+
+class ProfileStore:
+    """In-memory collection of profiles keyed by (workload, device type)."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[Tuple[str, str], ThroughputProfile] = {}
+
+    def add(self, profile: ThroughputProfile) -> None:
+        self._profiles[(profile.workload, profile.device_type)] = profile
+
+    def get(self, workload: str, device_type: str) -> ThroughputProfile:
+        try:
+            return self._profiles[(workload, device_type)]
+        except KeyError:
+            raise KeyError(
+                f"no profile for workload {workload!r} on {device_type!r}; "
+                f"run OfflineProfiler.profile first"
+            ) from None
+
+    def has(self, workload: str, device_type: str) -> bool:
+        return (workload, device_type) in self._profiles
+
+    def device_types(self, workload: str) -> List[str]:
+        return sorted(d for (w, d) in self._profiles if w == workload)
+
+    def __len__(self) -> int:
+        return len(self._profiles)

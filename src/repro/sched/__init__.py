@@ -1,0 +1,13 @@
+"""Gavel-style round-based cluster scheduling (§6.5.2): the Least Attained
+Service policy over a heterogeneous cluster, with and without VirtualFlow's
+heterogeneous allocations."""
+
+from repro.sched.gavel import (
+    GavelJob,
+    GavelSimulator,
+    GavelResult,
+    hetero_split,
+    hetero_throughput,
+)
+
+__all__ = ["GavelJob", "GavelResult", "GavelSimulator", "hetero_split", "hetero_throughput"]

@@ -1,0 +1,269 @@
+"""Gavel [Narayanan et al., OSDI 2020] reimplementation and the VirtualFlow
+heterogeneous-training extension (§6.5.2).
+
+Gavel schedules a heterogeneous cluster in fixed rounds (the paper uses 6
+minutes) under a policy; we implement Least Attained Service (LAS): each
+round, jobs that have consumed the least normalized GPU-time are served
+first.  Stock Gavel considers *homogeneous* allocations only — a job runs on
+GPUs of a single type each round.  The extension lets a job additionally
+absorb leftover GPUs of other types, with throughput given by a balanced
+batch split across types (VirtualFlow's heterogeneous training), which is
+what produces the hatched allocations of Figure 16 and the JCT reductions of
+Figure 15.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.elastic.jobs import JobSpec
+from repro.framework.models import get_workload
+from repro.hardware.device import get_spec
+from repro.hardware.perfmodel import PerfModel
+
+__all__ = ["GavelJob", "GavelSimulator", "GavelResult", "hetero_split", "hetero_throughput"]
+
+# Normalized GPU-time weights for attained service (V100-equivalents).
+def _service_weight(device_type: str) -> float:
+    return get_spec(device_type).compute_factor
+
+
+def hetero_split(spec: JobSpec, allocation: Mapping[str, int],
+                 perf: Optional[PerfModel] = None) -> Dict[str, int]:
+    """Split the job's global batch across device types, balancing step times.
+
+    Shares are proportional to each type's aggregate per-example rate, then
+    rounded to whole examples with the remainder going to the fastest type.
+    """
+    perf = perf or PerfModel()
+    workload = get_workload(spec.workload)
+    rates = {}
+    for t, n in allocation.items():
+        if n < 1:
+            continue
+        # examples/second of one device of this type at the job's wave batch
+        wave = max(1, spec.wave_batch)
+        rate = wave / perf.wave_time(workload, get_spec(t), wave)
+        rates[t] = n * rate
+    if not rates:
+        raise ValueError("empty allocation")
+    total_rate = sum(rates.values())
+    batch = spec.global_batch_size
+    shares = {t: int(math.floor(batch * r / total_rate)) for t, r in rates.items()}
+    fastest = max(rates, key=lambda t: rates[t] / allocation[t])
+    shares[fastest] += batch - sum(shares.values())
+    return shares
+
+
+def hetero_throughput(spec: JobSpec, allocation: Mapping[str, int],
+                      perf: Optional[PerfModel] = None) -> float:
+    """Steps/second for a (possibly heterogeneous) allocation.
+
+    Uses the balanced split from :func:`hetero_split`; the synchronous step is
+    bottlenecked on the slowest type plus the all-reduce.
+    """
+    perf = perf or PerfModel()
+    workload = get_workload(spec.workload)
+    alloc = {t: n for t, n in allocation.items() if n > 0}
+    if not alloc:
+        raise ValueError("empty allocation")
+    shares = hetero_split(spec, alloc, perf)
+    slowest = 0.0
+    for t, n in alloc.items():
+        per_device = shares[t] / n
+        if per_device <= 0:
+            continue
+        # Waves sized at most the job's wave batch (virtual nodes).
+        n_waves = max(1, math.ceil(per_device / max(1, spec.wave_batch)))
+        per_wave = per_device / n_waves
+        t_dev = n_waves * perf.wave_time(workload, get_spec(t), max(1, int(round(per_wave))))
+        t_dev += perf.update_time(workload, get_spec(t))
+        slowest = max(slowest, t_dev)
+    n_devices = sum(alloc.values())
+    comm = perf.interconnect.allreduce_time(workload.footprint.param_bytes, n_devices)
+    return 1.0 / (slowest + comm)
+
+
+@dataclass
+class GavelJob:
+    """Per-job scheduling state in the Gavel simulation."""
+
+    spec: JobSpec
+    steps_done: float = 0.0
+    attained_service: float = 0.0  # normalized (V100-equivalent) GPU-seconds
+    finish_time: Optional[float] = None
+    # (round start time, {type: count}) for Figure-16 style plots.
+    allocation_log: List[Tuple[float, Dict[str, int]]] = field(default_factory=list)
+
+    @property
+    def job_id(self) -> int:
+        return self.spec.job_id
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def remaining_steps(self) -> float:
+        return max(0.0, self.spec.total_steps - self.steps_done)
+
+    def jct(self) -> float:
+        if self.finish_time is None:
+            raise RuntimeError(f"job {self.job_id} did not finish")
+        return self.finish_time - self.spec.arrival_time
+
+    def used_heterogeneous(self) -> bool:
+        return any(sum(1 for v in alloc.values() if v > 0) > 1
+                   for _, alloc in self.allocation_log)
+
+
+@dataclass
+class GavelResult:
+    """Outcome of one Gavel simulation."""
+
+    heterogeneous: bool
+    jobs: Dict[int, GavelJob]
+    makespan: float
+
+    def avg_jct(self) -> float:
+        return float(np.mean([j.jct() for j in self.jobs.values()]))
+
+    def hetero_round_fraction(self) -> float:
+        """Fraction of allocated rounds that were heterogeneous."""
+        total = hetero = 0
+        for job in self.jobs.values():
+            for _, alloc in job.allocation_log:
+                if sum(alloc.values()) > 0:
+                    total += 1
+                    if sum(1 for v in alloc.values() if v > 0) > 1:
+                        hetero += 1
+        return hetero / total if total else 0.0
+
+
+class GavelSimulator:
+    """Round-based LAS scheduling over a heterogeneous cluster.
+
+    Parameters
+    ----------
+    cluster_counts:
+        ``{device_type: count}`` — the paper uses 4 V100 + 8 P100 + 16 K80.
+    heterogeneous:
+        If True, jobs may absorb leftover GPUs of other types (the
+        VirtualFlow extension); if False, stock Gavel behaviour.
+    round_duration:
+        Seconds per scheduling round (paper: 6 minutes).
+    min_speedup:
+        Extra devices are only added when they improve a job's predicted
+        throughput by at least this factor (guards against sync overhead
+        swamping slow-GPU contributions — the Figure 15 "graceful fallback").
+    """
+
+    POLICIES = ("las", "fifo", "srtf")
+
+    def __init__(self, cluster_counts: Mapping[str, int], heterogeneous: bool = False,
+                 round_duration: float = 360.0, min_speedup: float = 1.05,
+                 perf: Optional[PerfModel] = None, policy: str = "las") -> None:
+        if round_duration <= 0:
+            raise ValueError("round_duration must be positive")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {self.POLICIES}")
+        if not cluster_counts:
+            raise ValueError("cluster_counts is empty")
+        for t in cluster_counts:
+            get_spec(t)
+        self.cluster_counts = dict(cluster_counts)
+        self.heterogeneous = heterogeneous
+        self.round_duration = round_duration
+        self.min_speedup = min_speedup
+        self.policy = policy
+        self.perf = perf or PerfModel()
+        # Fastest types first for the homogeneous pass.
+        self.types_by_speed = sorted(
+            self.cluster_counts, key=lambda t: -get_spec(t).compute_factor
+        )
+
+    # -- one round ------------------------------------------------------------
+
+    def _round_order(self, active: List[GavelJob]) -> List[GavelJob]:
+        """Service order for this round, per the configured policy."""
+        if self.policy == "las":
+            key = lambda j: (j.attained_service, j.spec.arrival_time, j.job_id)
+        elif self.policy == "fifo":
+            key = lambda j: (j.spec.arrival_time, j.job_id)
+        else:  # srtf
+            key = lambda j: (j.remaining_steps, j.spec.arrival_time, j.job_id)
+        return sorted(active, key=key)
+
+    def _allocate_round(self, time: float, active: List[GavelJob]) -> Dict[int, Dict[str, int]]:
+        free = dict(self.cluster_counts)
+        order = self._round_order(active)
+        allocations: Dict[int, Dict[str, int]] = {j.job_id: {} for j in active}
+        # Pass 1 (stock Gavel): one type per job, fastest first.
+        for job in order:
+            for t in self.types_by_speed:
+                if free[t] < 1:
+                    continue
+                n = min(job.spec.demand_gpus, free[t])
+                allocations[job.job_id] = {t: n}
+                free[t] -= n
+                break
+        if self.heterogeneous:
+            # Pass 2 (VirtualFlow extension): offer leftovers to jobs in LAS
+            # order if the solver predicts a real speedup.
+            for job in order:
+                alloc = allocations[job.job_id]
+                if not alloc:
+                    continue
+                base = hetero_throughput(job.spec, alloc, self.perf)
+                for t in self.types_by_speed:
+                    if free[t] < 1 or t in alloc:
+                        continue
+                    extra = free[t]
+                    trial = dict(alloc)
+                    trial[t] = extra
+                    tput = hetero_throughput(job.spec, trial, self.perf)
+                    if tput >= base * self.min_speedup:
+                        alloc = trial
+                        base = tput
+                        free[t] = 0
+                allocations[job.job_id] = alloc
+        return allocations
+
+    # -- full simulation -----------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec], max_rounds: int = 100_000) -> GavelResult:
+        if not specs:
+            raise ValueError("no jobs in trace")
+        jobs = {s.job_id: GavelJob(spec=s) for s in specs}
+        time = 0.0
+        rounds = 0
+        while any(not j.finished for j in jobs.values()):
+            if rounds >= max_rounds:
+                raise RuntimeError(f"exceeded {max_rounds} rounds")
+            active = [j for j in jobs.values()
+                      if not j.finished and j.spec.arrival_time <= time]
+            if active:
+                allocations = self._allocate_round(time, active)
+                for job in active:
+                    alloc = {t: n for t, n in allocations[job.job_id].items() if n > 0}
+                    job.allocation_log.append((time, dict(alloc)))
+                    if not alloc:
+                        continue
+                    rate = hetero_throughput(job.spec, alloc, self.perf)
+                    remaining_time = job.remaining_steps / rate
+                    span = min(self.round_duration, remaining_time)
+                    job.steps_done = min(job.spec.total_steps,
+                                         job.steps_done + rate * span)
+                    weight = sum(n * _service_weight(t) for t, n in alloc.items())
+                    job.attained_service += weight * span
+                    if job.remaining_steps <= 1e-9 * max(1, job.spec.total_steps):
+                        job.steps_done = job.spec.total_steps
+                        job.finish_time = time + span
+            time += self.round_duration
+            rounds += 1
+        makespan = max(j.finish_time or 0.0 for j in jobs.values())
+        return GavelResult(heterogeneous=self.heterogeneous, jobs=jobs, makespan=makespan)

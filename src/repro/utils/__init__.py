@@ -1,0 +1,37 @@
+"""Shared utilities: deterministic seeding, units, and table formatting."""
+
+from repro.utils.seeding import (
+    derive_rng,
+    derive_seed,
+    spawn_streams,
+    vn_rng,
+)
+from repro.utils.units import (
+    GB,
+    KB,
+    MB,
+    format_bytes,
+    format_duration,
+)
+from repro.utils.tabulate import format_table
+from repro.utils.validation import (
+    check_positive,
+    check_power_of_two_like,
+    power_of_two_like_sizes,
+)
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "check_positive",
+    "check_power_of_two_like",
+    "derive_rng",
+    "derive_seed",
+    "format_bytes",
+    "format_duration",
+    "format_table",
+    "power_of_two_like_sizes",
+    "spawn_streams",
+    "vn_rng",
+]

@@ -1,0 +1,39 @@
+"""Minimal plain-text table rendering for benchmark harness output.
+
+The benchmark harness prints the same rows the paper's tables report; this
+keeps that output dependency-free and stable enough to diff.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render rows as an aligned plain-text table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Byte and time units with human-readable formatting."""
+
+from __future__ import annotations
+
+__all__ = ["KB", "MB", "GB", "format_bytes", "format_duration"]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary-unit suffix, e.g. ``104.2MB``."""
+    if n < 0:
+        return "-" + format_bytes(-n)
+    for unit, div in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if n >= div:
+            return f"{n / div:.2f}{unit}"
+    return f"{n:.0f}B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration, e.g. ``1h02m`` / ``3m05s`` / ``1.24s``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds >= 3600:
+        h, rem = divmod(seconds, 3600)
+        return f"{int(h)}h{int(rem // 60):02d}m"
+    if seconds >= 60:
+        m, s = divmod(seconds, 60)
+        return f"{int(m)}m{int(s):02d}s"
+    return f"{seconds:.2f}s"

@@ -1,0 +1,58 @@
+"""Argument validation helpers and the paper's batch-size grid.
+
+The offline profiler (paper §5.1.1) only considers batch sizes that are
+powers of two or "power-of-2-like" numbers — midpoints between adjacent
+powers of two (48, 96, 192, 768, 3072, ...) — for memory-alignment reasons.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["check_positive", "check_power_of_two_like", "power_of_two_like_sizes", "is_power_of_two_like"]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def is_power_of_two_like(n: int) -> bool:
+    """True if ``n`` is a power of two or the midpoint of adjacent powers.
+
+    Midpoints are 3·2^k (6, 12, 24, 48, 96, ...); the paper's examples
+    (48, 192, 768) follow this pattern.  1 and 2 are trivially included.
+    """
+    if n <= 0:
+        return False
+    if n & (n - 1) == 0:  # power of two
+        return True
+    if n % 3 == 0:
+        q = n // 3
+        return q > 0 and q & (q - 1) == 0
+    return False
+
+
+def check_power_of_two_like(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is on the profiler batch grid."""
+    if not is_power_of_two_like(int(value)):
+        raise ValueError(
+            f"{name} must be a power of 2 or a power-of-2-like midpoint "
+            f"(e.g. 48, 192, 768), got {value!r}"
+        )
+
+
+def power_of_two_like_sizes(max_size: int, min_size: int = 1) -> List[int]:
+    """All power-of-2-like batch sizes in ``[min_size, max_size]``, sorted."""
+    if max_size < 1:
+        return []
+    sizes = set()
+    p = 1
+    while p <= max_size:
+        if p >= min_size:
+            sizes.add(p)
+        if 3 * p // 2 >= min_size and 3 * p // 2 <= max_size and p >= 2:
+            sizes.add(3 * p // 2)
+        p *= 2
+    return sorted(sizes)

@@ -1,0 +1,91 @@
+"""Batched inference under virtual nodes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InferenceEngine, Mapping, PlanValidationError, VirtualNodeSet
+from repro.data import make_dataset
+from repro.framework import get_workload
+from repro.hardware import Cluster
+
+
+def _engine(num_devices=1, num_vns=4, batch=32, workload="mlp_synthetic"):
+    wl = get_workload(workload)
+    vn_set = VirtualNodeSet.even(batch, num_vns)
+    mapping = Mapping.even(vn_set, Cluster.homogeneous("V100", num_devices))
+    return InferenceEngine(wl, wl.build_model(0), mapping)
+
+
+@pytest.fixture
+def batch():
+    ds = make_dataset("synthetic_vectors", n=64, seed=0)
+    return ds.x_train[:32]
+
+
+class TestPredict:
+    def test_logits_shape_and_latency(self, batch):
+        engine = _engine()
+        result = engine.predict(batch)
+        assert result.logits.shape == (32, 10)
+        assert result.sim_latency > 0
+        assert result.waves == 4
+        assert engine.requests_served == 1
+
+    def test_mapping_invariance_of_predictions(self, batch):
+        a = _engine(num_devices=1).predict(batch)
+        b = _engine(num_devices=4).predict(batch)
+        np.testing.assert_array_equal(a.logits, b.logits)
+
+    def test_matches_plain_forward(self, batch):
+        engine = _engine()
+        wl = get_workload("mlp_synthetic")
+        model = wl.build_model(0)
+        expected = model.forward(batch, training=False)
+        np.testing.assert_allclose(engine.predict(batch).logits, expected,
+                                   rtol=1e-12)
+
+    def test_more_devices_lower_latency(self, batch):
+        t1 = _engine(num_devices=1).predict(batch).sim_latency
+        t4 = _engine(num_devices=4).predict(batch).sim_latency
+        assert t4 < t1
+
+    def test_partial_batch_supported(self, batch):
+        engine = _engine()
+        result = engine.predict(batch[:10])  # smaller than the VN set's B
+        assert result.logits.shape[0] == 10
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            _engine().predict(np.zeros((0, 32)))
+
+    def test_sim_time_accumulates(self, batch):
+        engine = _engine()
+        engine.predict(batch)
+        engine.predict(batch)
+        assert engine.requests_served == 2
+        assert engine.sim_time > 0
+
+
+class TestRemap:
+    def test_remap_preserves_results(self, batch):
+        engine = _engine(num_devices=4)
+        before = engine.predict(batch).logits
+        engine.remap(Mapping.even(engine.mapping.vn_set,
+                                  Cluster.homogeneous("RTX2080Ti", 1)))
+        after = engine.predict(batch).logits
+        np.testing.assert_array_equal(before, after)
+
+    def test_remap_vn_set_guard(self, batch):
+        engine = _engine()
+        other = VirtualNodeSet.even(32, 8)
+        with pytest.raises(ValueError):
+            engine.remap(Mapping.even(other, Cluster.homogeneous("V100", 1)))
+
+    def test_memory_validation_at_construction(self):
+        wl = get_workload("resnet50_imagenet")
+        vn_set = VirtualNodeSet.even(8192, 1)  # one 8192-example wave: OOM
+        mapping = Mapping.even(vn_set, Cluster.homogeneous("V100", 1))
+        with pytest.raises(PlanValidationError):
+            InferenceEngine(wl, wl.build_model(0), mapping)

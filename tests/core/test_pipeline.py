@@ -1,0 +1,54 @@
+"""Model parallelism + virtual nodes schedule arithmetic (Fig 19)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import (
+    data_parallel_pipeline,
+    pipelined_virtual_nodes,
+    virtual_node_pipeline,
+)
+
+STAGES = [(1.0, 2.0), (1.5, 2.5), (1.0, 2.0), (0.5, 1.5)]
+
+
+class TestFigure19:
+    def test_resource_requirement_halved(self):
+        dp = data_parallel_pipeline(STAGES, replicas=2)
+        vn = virtual_node_pipeline(STAGES, virtual_nodes=2)
+        assert dp.num_gpus == 8
+        assert vn.num_gpus == 4  # "lowers the resource requirement by half"
+
+    def test_time_traded_for_resources(self):
+        dp = data_parallel_pipeline(STAGES, replicas=2)
+        vn = virtual_node_pipeline(STAGES, virtual_nodes=2)
+        assert vn.step_time == pytest.approx(2 * dp.step_time)
+
+    def test_pipelining_recovers_time(self):
+        vn = virtual_node_pipeline(STAGES, virtual_nodes=8)
+        piped = pipelined_virtual_nodes(STAGES, virtual_nodes=8)
+        assert piped.step_time < vn.step_time
+        assert piped.num_gpus == vn.num_gpus
+
+    def test_pipelined_approaches_bottleneck_rate(self):
+        """At many microbatches, cost/microbatch -> bottleneck stage time."""
+        piped = pipelined_virtual_nodes(STAGES, virtual_nodes=1000)
+        per_mb = piped.step_time / 1000
+        assert per_mb == pytest.approx(1.5 + 2.5, rel=0.01)
+
+    def test_single_replica_identity(self):
+        dp = data_parallel_pipeline(STAGES, replicas=1)
+        vn = virtual_node_pipeline(STAGES, virtual_nodes=1)
+        assert dp.step_time == vn.step_time
+        assert dp.num_gpus == len(STAGES) == vn.num_gpus
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            data_parallel_pipeline([], 2)
+        with pytest.raises(ValueError):
+            data_parallel_pipeline(STAGES, 0)
+        with pytest.raises(ValueError):
+            virtual_node_pipeline(STAGES, 0)
+        with pytest.raises(ValueError):
+            pipelined_virtual_nodes([(0.0, 1.0)], 2)

@@ -1,0 +1,113 @@
+"""VirtualFlowTrainer: configuration validation, history, convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TrainerConfig, VirtualFlowTrainer
+
+
+class TestTrainerConfig:
+    def test_valid(self):
+        TrainerConfig(workload="mlp_synthetic", global_batch_size=32, num_virtual_nodes=4)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(global_batch_size=0, num_virtual_nodes=1),
+        dict(global_batch_size=8, num_virtual_nodes=0),
+        dict(global_batch_size=8, num_virtual_nodes=1, num_devices=0),
+        dict(global_batch_size=8, num_virtual_nodes=2, vn_sizes=[8]),
+        dict(global_batch_size=8, num_virtual_nodes=2, vn_sizes=[3, 3]),
+    ])
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainerConfig(workload="mlp_synthetic", **kwargs)
+
+    def test_unknown_workload_fails_at_build(self):
+        config = TrainerConfig(workload="missing", global_batch_size=8,
+                               num_virtual_nodes=2)
+        with pytest.raises(KeyError):
+            VirtualFlowTrainer(config)
+
+    def test_batch_larger_than_dataset_rejected(self):
+        config = TrainerConfig(workload="mlp_synthetic", global_batch_size=4096,
+                               num_virtual_nodes=4, dataset_size=128)
+        with pytest.raises(ValueError, match="exceeds"):
+            VirtualFlowTrainer(config)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        t = VirtualFlowTrainer(TrainerConfig(
+            workload="mlp_synthetic", global_batch_size=32, num_virtual_nodes=4,
+            dataset_size=512))
+        history = t.train(epochs=4)
+        assert history[-1].train_loss < history[0].train_loss
+
+    def test_accuracy_reaches_reasonable_level(self):
+        t = VirtualFlowTrainer(TrainerConfig(
+            workload="mlp_synthetic", global_batch_size=32, num_virtual_nodes=4,
+            dataset_size=1024))
+        t.train(epochs=4)
+        assert t.history[-1].val_accuracy > 0.8  # easy synthetic task
+
+    def test_history_records_epochs_in_order(self):
+        t = VirtualFlowTrainer(TrainerConfig(
+            workload="mlp_synthetic", global_batch_size=32, num_virtual_nodes=4,
+            dataset_size=128))
+        t.train(epochs=3)
+        assert [h.epoch for h in t.history] == [0, 1, 2]
+        assert all(h.sim_time > 0 for h in t.history)
+        sim_times = [h.sim_time for h in t.history]
+        assert sim_times == sorted(sim_times)
+
+    def test_on_epoch_and_on_step_callbacks(self):
+        t = VirtualFlowTrainer(TrainerConfig(
+            workload="mlp_synthetic", global_batch_size=32, num_virtual_nodes=4,
+            dataset_size=128))
+        steps = []
+        t.train_epoch(on_step=lambda r: steps.append(r.loss))
+        assert len(steps) == t.loader.steps_per_epoch
+        epochs = []
+        t.train(epochs=2, on_epoch=lambda r: epochs.append(r.epoch))
+        assert epochs == [1, 2]
+
+    def test_zero_epochs_rejected(self):
+        t = VirtualFlowTrainer(TrainerConfig(
+            workload="mlp_synthetic", global_batch_size=32, num_virtual_nodes=4,
+            dataset_size=128))
+        with pytest.raises(ValueError):
+            t.train(epochs=0)
+
+    def test_evaluate_returns_dict(self):
+        t = VirtualFlowTrainer(TrainerConfig(
+            workload="mlp_synthetic", global_batch_size=32, num_virtual_nodes=4,
+            dataset_size=128))
+        out = t.evaluate()
+        assert set(out) == {"val_loss", "val_accuracy"}
+
+    def test_learning_rate_override_applied(self):
+        t = VirtualFlowTrainer(TrainerConfig(
+            workload="mlp_synthetic", global_batch_size=32, num_virtual_nodes=4,
+            dataset_size=128, learning_rate=0.123))
+        assert t.executor.optimizer.lr == pytest.approx(0.123)
+
+    def test_seed_controls_everything(self):
+        def run(seed):
+            t = VirtualFlowTrainer(TrainerConfig(
+                workload="mlp_synthetic", global_batch_size=32,
+                num_virtual_nodes=4, dataset_size=128, seed=seed))
+            t.train(epochs=1)
+            return t
+
+        a, b, c = run(1), run(1), run(2)
+        pa, pb, pc = (x.executor.model.parameters() for x in (a, b, c))
+        assert all(np.array_equal(pa[k], pb[k]) for k in pa)
+        assert any(not np.array_equal(pa[k], pc[k]) for k in pa)
+
+    def test_uneven_vn_sizes_train(self):
+        t = VirtualFlowTrainer(TrainerConfig(
+            workload="mlp_synthetic", global_batch_size=32, num_virtual_nodes=3,
+            vn_sizes=[16, 8, 8], num_devices=2, dataset_size=128))
+        t.train(epochs=1)
+        assert np.isfinite(t.history[-1].train_loss)

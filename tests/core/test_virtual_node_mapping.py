@@ -1,0 +1,123 @@
+"""Virtual node sets and mappings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Mapping, VirtualNode, VirtualNodeSet
+from repro.hardware import Cluster
+
+
+class TestVirtualNodeSet:
+    def test_even_split(self):
+        vns = VirtualNodeSet.even(64, 8)
+        assert vns.num_nodes == 8
+        assert vns.global_batch_size == 64
+        assert vns.sizes == [8] * 8
+        assert vns.is_even
+
+    def test_even_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            VirtualNodeSet.even(10, 3)
+
+    def test_uneven(self):
+        vns = VirtualNodeSet.uneven([6, 2])
+        assert not vns.is_even
+        assert vns.global_batch_size == 8
+        assert [n.index for n in vns] == [0, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualNodeSet([])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualNodeSet([4, 0])
+
+    def test_equality_by_sizes(self):
+        assert VirtualNodeSet.even(8, 2) == VirtualNodeSet([4, 4])
+        assert VirtualNodeSet([4, 4]) != VirtualNodeSet([2, 6])
+        assert hash(VirtualNodeSet([4, 4])) == hash(VirtualNodeSet.even(8, 2))
+
+    def test_virtual_node_validation(self):
+        with pytest.raises(ValueError):
+            VirtualNode(index=-1, batch_size=1)
+        with pytest.raises(ValueError):
+            VirtualNode(index=0, batch_size=0)
+
+    @given(st.integers(1, 64), st.integers(1, 16))
+    def test_even_always_covers_batch(self, per, n):
+        vns = VirtualNodeSet.even(per * n, n)
+        assert vns.global_batch_size == per * n
+        assert vns.num_nodes == n
+
+
+class TestMapping:
+    def test_even_round_robin(self):
+        vns = VirtualNodeSet.even(16, 4)
+        cluster = Cluster.homogeneous("V100", 2)
+        mapping = Mapping.even(vns, cluster)
+        assert mapping.nodes_on(0) == [0, 2]
+        assert mapping.nodes_on(1) == [1, 3]
+        assert mapping.max_waves == 2
+
+    def test_figure1_redistribution(self):
+        """16 virtual nodes: 16 GPUs (1 each) -> 4 GPUs (4 each)."""
+        vns = VirtualNodeSet.even(8192, 16)
+        big = Mapping.even(vns, Cluster.homogeneous("V100", 16))
+        assert all(len(big.nodes_on(d)) == 1 for d in range(16))
+        small = big.redistribute(Cluster.homogeneous("V100", 4))
+        assert all(len(small.nodes_on(d)) == 4 for d in range(4))
+        assert small.vn_set == vns
+
+    def test_by_counts(self):
+        vns = VirtualNodeSet.even(12, 3)
+        cluster = Cluster.homogeneous("V100", 2)
+        mapping = Mapping.by_counts(vns, cluster, {0: 2, 1: 1})
+        assert mapping.nodes_on(0) == [0, 1]
+        assert mapping.nodes_on(1) == [2]
+
+    def test_by_counts_wrong_total(self):
+        vns = VirtualNodeSet.even(12, 3)
+        cluster = Cluster.homogeneous("V100", 2)
+        with pytest.raises(ValueError, match="sum"):
+            Mapping.by_counts(vns, cluster, {0: 1, 1: 1})
+
+    def test_unknown_device_rejected(self):
+        vns = VirtualNodeSet.even(4, 2)
+        cluster = Cluster.homogeneous("V100", 1)
+        with pytest.raises(ValueError, match="unknown devices"):
+            Mapping(vns, cluster, {0: 0, 1: 7})
+
+    def test_unmapped_node_rejected(self):
+        vns = VirtualNodeSet.even(4, 2)
+        cluster = Cluster.homogeneous("V100", 1)
+        with pytest.raises(ValueError, match="without a device"):
+            Mapping(vns, cluster, {0: 0})
+
+    def test_local_batch(self):
+        vns = VirtualNodeSet.uneven([6, 2, 2])
+        cluster = Cluster.homogeneous("V100", 2)
+        mapping = Mapping.by_counts(vns, cluster, {0: 1, 1: 2})
+        assert mapping.local_batch(0) == 6
+        assert mapping.local_batch(1) == 4
+
+    def test_active_devices_excludes_idle(self):
+        vns = VirtualNodeSet.even(4, 2)
+        cluster = Cluster.homogeneous("V100", 4)
+        mapping = Mapping.by_counts(vns, cluster, {0: 2, 1: 0, 2: 0, 3: 0})
+        assert mapping.active_devices() == [0]
+
+    @given(st.integers(1, 32), st.integers(1, 8))
+    def test_even_mapping_conserves_nodes(self, n_vns, n_devices):
+        vns = VirtualNodeSet.even(n_vns * 2, n_vns)
+        cluster = Cluster.homogeneous("V100", n_devices)
+        mapping = Mapping.even(vns, cluster)
+        all_nodes = sorted(
+            i for d in range(n_devices) for i in mapping.nodes_on(d)
+        )
+        assert all_nodes == list(range(n_vns))
+        # Round-robin balance: wave counts differ by at most one.
+        waves = [len(mapping.nodes_on(d)) for d in range(n_devices)]
+        assert max(waves) - min(waves) <= 1

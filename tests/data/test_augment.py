@@ -1,0 +1,129 @@
+"""Augmentation transforms and their mapping-invariance integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TrainerConfig, VirtualFlowTrainer
+from repro.data.augment import (
+    Compose,
+    GaussianNoise,
+    RandomCrop,
+    RandomHorizontalFlip,
+    TokenDropout,
+)
+
+
+@pytest.fixture
+def images(rng):
+    return rng.standard_normal((8, 6, 6, 3))
+
+
+class TestTransforms:
+    def test_flip_deterministic_given_rng(self, images):
+        t = RandomHorizontalFlip(p=0.5)
+        a = t(images, np.random.default_rng(3))
+        b = t(images, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_flip_does_not_mutate_input(self, images):
+        t = RandomHorizontalFlip(p=1.0)
+        before = images.copy()
+        t(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(images, before)
+
+    def test_flip_p1_reverses_width(self, images):
+        out = RandomHorizontalFlip(p=1.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images[:, :, ::-1, :])
+
+    def test_flip_p0_identity(self, images):
+        out = RandomHorizontalFlip(p=0.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images)
+
+    def test_flip_requires_nhwc(self, rng):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip()(rng.standard_normal((4, 4)), np.random.default_rng(0))
+
+    def test_crop_preserves_shape(self, images):
+        out = RandomCrop(padding=2)(images, np.random.default_rng(1))
+        assert out.shape == images.shape
+
+    def test_crop_center_content_survives(self):
+        """With padding 1, the crop window always contains the inner pixels."""
+        x = np.zeros((1, 4, 4, 1))
+        x[0, 1:3, 1:3, 0] = 1.0
+        out = RandomCrop(padding=1)(x, np.random.default_rng(5))
+        assert out.sum() >= 1.0  # at least part of the 2x2 block remains
+
+    def test_noise_zero_std_identity(self, images):
+        out = GaussianNoise(std=0.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images)
+
+    def test_noise_scale(self, rng):
+        x = np.zeros((64, 8, 8, 1))
+        out = GaussianNoise(std=0.5)(x, np.random.default_rng(2))
+        assert out.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_token_dropout_masks(self):
+        x = np.full((32, 16), 7, dtype=np.int64)
+        out = TokenDropout(p=0.5, mask_token=0)(x, np.random.default_rng(4))
+        frac = (out == 0).mean()
+        assert 0.3 < frac < 0.7
+        assert set(np.unique(out)) <= {0, 7}
+
+    def test_token_dropout_requires_integers(self, images):
+        with pytest.raises(ValueError):
+            TokenDropout()(images, np.random.default_rng(0))
+
+    def test_compose_applies_in_order(self, images):
+        t = Compose([RandomHorizontalFlip(p=1.0), GaussianNoise(std=0.0)])
+        out = t(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images[:, :, ::-1, :])
+
+    def test_compose_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Compose([])
+
+    @pytest.mark.parametrize("bad", [
+        lambda: RandomHorizontalFlip(p=1.5),
+        lambda: RandomCrop(padding=0),
+        lambda: GaussianNoise(std=-1),
+        lambda: TokenDropout(p=1.0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            bad()
+
+
+class TestAugmentedTrainingInvariance:
+    def test_augmentation_preserves_mapping_invariance(self):
+        """Augmented pixels come from per-VN streams -> still bit-identical."""
+        augment = Compose([RandomHorizontalFlip(p=0.5), GaussianNoise(std=0.1)])
+
+        def run(devices):
+            t = VirtualFlowTrainer(
+                TrainerConfig(workload="resnet56_cifar10", global_batch_size=32,
+                              num_virtual_nodes=4, num_devices=devices,
+                              dataset_size=256, seed=6),
+                augment=augment)
+            t.train(epochs=1)
+            return t.executor.model.parameters()
+
+        pa, pb = run(1), run(4)
+        for k in pa:
+            np.testing.assert_array_equal(pa[k], pb[k])
+
+    def test_augmentation_changes_training(self):
+        def run(augment):
+            t = VirtualFlowTrainer(
+                TrainerConfig(workload="resnet56_cifar10", global_batch_size=32,
+                              num_virtual_nodes=4, num_devices=1,
+                              dataset_size=256, seed=6),
+                augment=augment)
+            t.train(epochs=1)
+            return t.executor.model.parameters()
+
+        plain = run(None)
+        noisy = run(GaussianNoise(std=0.3))
+        assert any(not np.array_equal(plain[k], noisy[k]) for k in plain)

@@ -1,0 +1,126 @@
+"""Datasets and the batch loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import BatchLoader, make_dataset
+from repro.data.datasets import (
+    synthetic_image_dataset,
+    synthetic_text_dataset,
+    synthetic_vector_dataset,
+)
+
+
+class TestDatasets:
+    def test_deterministic_content(self):
+        a = make_dataset("synthetic_imagenet", n=128, seed=4)
+        b = make_dataset("synthetic_imagenet", n=128, seed=4)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_seeds_differ(self):
+        a = make_dataset("synthetic_imagenet", n=128, seed=1)
+        b = make_dataset("synthetic_imagenet", n=128, seed=2)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_split_sizes(self):
+        ds = synthetic_vector_dataset(n=100, val_fraction=0.2)
+        assert ds.n_val == 20 and ds.n_train == 80
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("mnist")
+
+    @pytest.mark.parametrize("name", ["synthetic_vectors", "synthetic_imagenet",
+                                      "synthetic_cifar10", "synthetic_glue",
+                                      "synthetic_wmt"])
+    def test_all_builders(self, name):
+        ds = make_dataset(name, n=64, seed=0)
+        assert ds.n_train + ds.n_val == 64
+        assert ds.num_classes >= 2
+        assert len(ds.x_train) == len(ds.y_train)
+
+    def test_text_tokens_in_vocab(self):
+        ds = synthetic_text_dataset(n=64, vocab_size=32)
+        assert ds.x_train.min() >= 0
+        assert ds.x_train.max() < 32
+        assert ds.x_train.dtype == np.int64
+
+    def test_text_vocab_too_small(self):
+        with pytest.raises(ValueError, match="vocab"):
+            synthetic_text_dataset(num_classes=10, signal_tokens=5, vocab_size=32)
+
+    def test_images_shape(self):
+        ds = synthetic_image_dataset(n=32, image_size=8, channels=3)
+        assert ds.x_train.shape[1:] == (8, 8, 3)
+
+    def test_task_is_learnable_signal(self):
+        """Class centers must be separated enough to learn (sanity on noise)."""
+        ds = synthetic_vector_dataset(n=2000, noise=1.0, label_noise=0.0)
+        # Nearest-centroid on train centers classifies val far above chance.
+        centers = np.stack([ds.x_train[ds.y_train == c].mean(axis=0)
+                            for c in range(ds.num_classes)])
+        d = ((ds.x_val[:, None, :] - centers[None]) ** 2).sum(-1)
+        acc = (d.argmin(1) == ds.y_val).mean()
+        assert acc > 0.6
+
+
+class TestBatchLoader:
+    def _loader(self, batch=16, n=128, shuffle=True):
+        ds = make_dataset("synthetic_vectors", n=n, seed=0)
+        return BatchLoader(ds, batch, seed=0, shuffle=shuffle)
+
+    def test_steps_per_epoch(self):
+        loader = self._loader(batch=16, n=128)  # 102 train examples
+        assert loader.steps_per_epoch == loader.dataset.n_train // 16
+
+    def test_epoch_covers_each_example_at_most_once(self):
+        loader = self._loader(batch=16)
+        seen = np.concatenate([b.indices for b in loader.epoch(0)])
+        assert len(seen) == len(set(seen.tolist()))
+
+    def test_epoch_order_is_seed_determined(self):
+        a = self._loader().epoch_order(3)
+        b = self._loader().epoch_order(3)
+        np.testing.assert_array_equal(a, b)
+        c = self._loader().epoch_order(4)
+        assert not np.array_equal(a, c)
+
+    def test_no_shuffle_is_sequential(self):
+        loader = self._loader(shuffle=False)
+        np.testing.assert_array_equal(loader.epoch_order(0),
+                                      np.arange(loader.dataset.n_train))
+
+    def test_random_access_matches_iteration(self):
+        loader = self._loader(batch=16)
+        batches = list(loader.epoch(1))
+        direct = loader.batch(1, 2)
+        np.testing.assert_array_equal(direct.x, batches[2].x)
+        np.testing.assert_array_equal(direct.indices, batches[2].indices)
+
+    def test_step_out_of_range(self):
+        loader = self._loader()
+        with pytest.raises(IndexError):
+            loader.batch(0, loader.steps_per_epoch)
+
+    def test_batch_too_large(self):
+        ds = make_dataset("synthetic_vectors", n=64, seed=0)
+        with pytest.raises(ValueError, match="exceeds"):
+            BatchLoader(ds, 10_000)
+
+    def test_labels_track_examples(self):
+        loader = self._loader(batch=8)
+        for b in loader.epoch(0):
+            np.testing.assert_array_equal(b.y, loader.dataset.y_train[b.indices])
+
+    @given(st.integers(1, 64), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_batches_disjoint(self, batch, epoch):
+        ds = make_dataset("synthetic_vectors", n=256, seed=0)
+        loader = BatchLoader(ds, batch, seed=0)
+        seen = [i for b in loader.epoch(epoch) for i in b.indices.tolist()]
+        assert len(seen) == len(set(seen))
+        assert len(seen) == loader.steps_per_epoch * batch

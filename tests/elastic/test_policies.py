@@ -1,0 +1,60 @@
+"""WFS priority policies: SJF, SRTF, FIFO (§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elastic import (
+    ClusterSimulator,
+    ElasticWFSScheduler,
+    JobSpec,
+    JobState,
+    apply_policy,
+    compute_metrics,
+    fifo_priority,
+    sjf_priority,
+    srtf_priority,
+)
+
+
+def _spec(job_id=0, steps=100, arrival=0.0, demand=2):
+    return JobSpec(job_id=job_id, workload="resnet56_cifar10",
+                   global_batch_size=64, total_virtual_nodes=4,
+                   demand_gpus=demand, total_steps=steps, arrival_time=arrival)
+
+
+class TestPriorityFunctions:
+    def test_sjf_prefers_short_jobs(self):
+        short = JobState(spec=_spec(steps=10))
+        long = JobState(spec=_spec(steps=1000))
+        assert sjf_priority(short) > sjf_priority(long)
+
+    def test_srtf_tracks_progress(self):
+        fresh = JobState(spec=_spec(steps=100))
+        nearly_done = JobState(spec=_spec(steps=100))
+        nearly_done.steps_done = 95
+        assert srtf_priority(nearly_done) > srtf_priority(fresh)
+
+    def test_fifo_prefers_earlier_arrivals(self):
+        early = JobState(spec=_spec(arrival=0.0))
+        late = JobState(spec=_spec(arrival=100.0))
+        assert fifo_priority(early) > fifo_priority(late)
+
+
+class TestApplyPolicy:
+    def test_replaces_priorities(self):
+        specs = [_spec(job_id=0, steps=10), _spec(job_id=1, steps=1000)]
+        prioritized = apply_policy(specs, sjf_priority)
+        assert prioritized[0].priority > prioritized[1].priority
+        # Everything else is preserved.
+        assert prioritized[0].total_steps == 10
+
+    def test_sjf_schedule_favors_short_job(self):
+        """Under SJF priorities, the short job finishes first despite arriving
+        at the same time as a long one contending for the same GPUs."""
+        specs = [_spec(job_id=0, steps=4000, demand=4),
+                 _spec(job_id=1, steps=200, demand=4)]
+        prioritized = list(apply_policy(specs, sjf_priority).values())
+        result = ClusterSimulator(4, ElasticWFSScheduler()).run(prioritized)
+        metrics = compute_metrics(result)
+        assert metrics.jcts[1] < metrics.jcts[0]

@@ -1,0 +1,60 @@
+"""Metrics and initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framework import initializers as init
+from repro.framework.metrics import accuracy, top_k_accuracy
+
+
+class TestMetrics:
+    def test_accuracy_perfect(self):
+        logits = np.eye(3) * 10
+        assert accuracy(logits, np.array([0, 1, 2])) == 1.0
+
+    def test_accuracy_partial(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1, 1, 0])) == 0.5
+
+    def test_top_k_includes_lower_ranks(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert top_k_accuracy(logits, np.array([1]), k=2) == 1.0
+        assert top_k_accuracy(logits, np.array([3]), k=2) == 0.0
+
+    def test_top_k_caps_at_num_classes(self):
+        logits = np.array([[1.0, 2.0]])
+        assert top_k_accuracy(logits, np.array([0]), k=10) == 1.0
+
+    def test_top_k_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((1, 2)), np.array([0]), k=0)
+
+
+class TestInitializers:
+    def test_glorot_bounds(self, rng):
+        w = init.glorot_uniform(rng, (100, 50))
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_std(self, rng):
+        w = init.he_normal(rng, (2000, 10))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 2000), rel=0.1)
+
+    def test_conv_fan_computation(self, rng):
+        w = init.he_normal(rng, (3, 3, 16, 32))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / (9 * 16)), rel=0.15)
+
+    def test_zeros_ones(self):
+        np.testing.assert_array_equal(init.zeros((2, 2)), np.zeros((2, 2)))
+        np.testing.assert_array_equal(init.ones((3,)), np.ones(3))
+
+    def test_deterministic_given_rng(self):
+        a = init.glorot_uniform(np.random.default_rng(5), (4, 4))
+        b = init.glorot_uniform(np.random.default_rng(5), (4, 4))
+        np.testing.assert_array_equal(a, b)
+
+    def test_dtype_is_float64(self, rng):
+        assert init.glorot_uniform(rng, (2, 2)).dtype == np.float64
+        assert init.he_normal(rng, (2, 2)).dtype == np.float64

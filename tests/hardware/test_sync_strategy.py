@@ -1,0 +1,60 @@
+"""All-reduce vs parameter-server synchronization cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.sync_strategy import AllReduceStrategy, ParameterServerStrategy
+from repro.utils.units import MB
+
+
+class TestAllReduce:
+    def test_single_worker_free(self):
+        assert AllReduceStrategy().sync_time(100 * MB, 1) == 0.0
+
+    def test_nearly_flat_in_workers(self):
+        s = AllReduceStrategy(latency=0.0)
+        assert s.sync_time(100 * MB, 32) < 2 * s.sync_time(100 * MB, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AllReduceStrategy(bandwidth=0)
+
+
+class TestParameterServer:
+    def test_single_worker_free(self):
+        assert ParameterServerStrategy().sync_time(100 * MB, 1) == 0.0
+
+    def test_scales_linearly_with_workers(self):
+        s = ParameterServerStrategy(num_servers=1, latency=0.0)
+        t2 = s.sync_time(100 * MB, 2)
+        t8 = s.sync_time(100 * MB, 8)
+        assert t8 == pytest.approx(4 * t2)
+
+    def test_sharding_divides_load(self):
+        one = ParameterServerStrategy(num_servers=1, latency=0.0)
+        four = ParameterServerStrategy(num_servers=4, latency=0.0)
+        assert four.sync_time(100 * MB, 8) == pytest.approx(
+            one.sync_time(100 * MB, 8) / 4)
+
+    def test_ring_wins_at_scale(self):
+        """The architectural crossover: PS loses to the ring as workers grow."""
+        ring = AllReduceStrategy()
+        nbytes = 100 * MB
+        # A single server loses immediately (its link carries n x the bytes).
+        ps1 = ParameterServerStrategy(num_servers=1)
+        assert ps1.crossover_workers(nbytes, ring) == 2
+        # A well-sharded PS wins at small scale but still loses eventually.
+        ps8 = ParameterServerStrategy(num_servers=8)
+        crossover = ps8.crossover_workers(nbytes, ring)
+        assert crossover > 2
+        assert ring.sync_time(nbytes, crossover) < ps8.sync_time(nbytes, crossover)
+        assert ps8.sync_time(nbytes, 2) < ring.sync_time(nbytes, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterServerStrategy(num_servers=0)
+        with pytest.raises(ValueError):
+            ParameterServerStrategy().sync_time(-1, 2)
+        with pytest.raises(ValueError):
+            ParameterServerStrategy().sync_time(1, 0)

@@ -1,0 +1,140 @@
+"""Heterogeneous solver and assignments (§5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionPlan
+from repro.framework import get_workload
+from repro.hetero import HeterogeneousSolver, TypeAssignment, materialize
+from repro.hetero.solver import _min_vn_count
+from repro.profiler import OfflineProfiler
+
+
+@pytest.fixture(scope="module")
+def resnet_solver():
+    store = OfflineProfiler(seed=0).profile_all(
+        "resnet50_imagenet", ["V100", "P100", "K80"])
+    return HeterogeneousSolver("resnet50_imagenet", store)
+
+
+class TestMinVnCount:
+    def test_fits_in_one(self):
+        assert _min_vn_count(128, 256) == 1
+
+    def test_needs_division(self):
+        assert _min_vn_count(1024, 256) == 4
+
+    def test_divisor_constraint(self):
+        # 100 with max wave 30: 100/4=25 <= 30 and 4 | 100.
+        assert _min_vn_count(100, 30) == 4
+
+    def test_infeasible(self):
+        assert _min_vn_count(7, 0) is None
+
+
+class TestTypeAssignment:
+    def test_wave_batch(self):
+        ta = TypeAssignment("V100", 2, 3072, 16)
+        assert ta.wave_batch == 192
+        assert ta.examples == 6144
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            TypeAssignment("V100", 1, 100, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TypeAssignment("V100", 0, 8, 1)
+
+
+class TestSolver:
+    def test_uneven_beats_even_fig7(self, resnet_solver):
+        """Figure 7 (right): 3072:1024 split beats 2048:2048 substantially."""
+        even = resnet_solver.predict_assignment([
+            TypeAssignment("V100", 2, 2048, 8), TypeAssignment("P100", 2, 2048, 8)])
+        uneven = resnet_solver.predict_assignment([
+            TypeAssignment("V100", 2, 3072, 16), TypeAssignment("P100", 2, 1024, 4)])
+        assert uneven.predicted_step_time < even.predicted_step_time
+        speedup = 1 - uneven.predicted_step_time / even.predicted_step_time
+        assert speedup > 0.35  # paper reports ~44% shorter step
+
+    def test_solve_beats_both_manual_configs(self, resnet_solver):
+        best = resnet_solver.solve({"V100": 2, "P100": 2}, 8192)
+        uneven = resnet_solver.predict_assignment([
+            TypeAssignment("V100", 2, 3072, 16), TypeAssignment("P100", 2, 1024, 4)])
+        assert best.predicted_step_time <= uneven.predicted_step_time * 1.001
+
+    def test_constraint_satisfied(self, resnet_solver):
+        best = resnet_solver.solve({"V100": 2, "P100": 2}, 8192)
+        assert best.global_batch_size == 8192
+
+    def test_fast_gpus_get_more_data(self, resnet_solver):
+        best = resnet_solver.solve({"V100": 2, "P100": 2}, 8192)
+        if not best.is_homogeneous:
+            per = {a.device_type: a.batch_per_device for a in best.assignments}
+            assert per["V100"] > per["P100"]
+
+    def test_homogeneous_fallback(self, resnet_solver):
+        """§5.1.2: when slow GPUs cannot compensate, stay homogeneous.
+
+        At a small global batch, even the smallest grid share on a K80
+        (12.5x slower than a V100) costs more than it saves, so the solver
+        must recommend the V100-only configuration — the paper's H1-group
+        fallback behaviour.
+        """
+        best = resnet_solver.solve({"V100": 1, "K80": 1}, 512)
+        assert best.is_homogeneous
+        assert best.assignments[0].device_type == "V100"
+
+    def test_hetero_chosen_when_it_helps(self, resnet_solver):
+        """H2/H3 shape: at large batches extra P100s raise throughput."""
+        best = resnet_solver.solve({"V100": 2, "P100": 2}, 8192)
+        v100_only = resnet_solver.solve_homogeneous({"V100": 2}, 8192)
+        assert not best.is_homogeneous
+        assert best.predicted_throughput > v100_only.predicted_throughput
+
+    def test_single_type_pool(self, resnet_solver):
+        best = resnet_solver.solve({"V100": 4}, 8192)
+        assert best.is_homogeneous
+        assert best.assignments[0].num_devices == 4
+
+    def test_infeasible_raises(self, resnet_solver):
+        with pytest.raises(ValueError):
+            resnet_solver.solve({}, 1024)
+        with pytest.raises(ValueError):
+            resnet_solver.solve({"V100": 1}, 0)
+
+    def test_solver_prediction_close_to_perf_model(self, resnet_solver):
+        """Figure 14: solver predictions within ~6% of 'actual' step times."""
+        wl = get_workload("resnet50_imagenet")
+        best = resnet_solver.solve({"V100": 2, "P100": 2}, 8192)
+        _, _, mapping = materialize(best)
+        actual = ExecutionPlan(wl, mapping).step_time()
+        assert best.predicted_step_time == pytest.approx(actual, rel=0.08)
+
+
+class TestMaterialize:
+    def test_roundtrip_structure(self, resnet_solver):
+        best = resnet_solver.predict_assignment([
+            TypeAssignment("V100", 2, 3072, 16), TypeAssignment("P100", 2, 1024, 4)])
+        cluster, vn_set, mapping = materialize(best)
+        assert cluster.counts() == {"V100": 2, "P100": 2}
+        assert vn_set.global_batch_size == 8192
+        # P100 ids come first (sorted type name); each hosts 4 waves of 256.
+        assert mapping.local_batch(0) == 1024
+        assert mapping.local_batch(2) == 3072
+
+    def test_wave_batches_match_assignment(self, resnet_solver):
+        best = resnet_solver.predict_assignment([
+            TypeAssignment("P100", 1, 512, 2), TypeAssignment("V100", 1, 512, 2)])
+        _, vn_set, mapping = materialize(best)
+        assert mapping.wave_batches()[0] == [256, 256]
+
+    def test_plan_validates_memory(self, resnet_solver):
+        """Materialized solver output always fits device memory."""
+        wl = get_workload("resnet50_imagenet")
+        best = resnet_solver.solve({"V100": 2, "P100": 2}, 8192)
+        _, _, mapping = materialize(best)
+        ExecutionPlan(wl, mapping)  # must not raise

@@ -1,0 +1,73 @@
+"""Profile persistence roundtrips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.profiler import (
+    OfflineProfiler,
+    ProfileStore,
+    ThroughputProfile,
+    load_store,
+    profile_from_dict,
+    profile_to_dict,
+    save_store,
+)
+
+
+class TestDictRoundtrip:
+    def test_roundtrip(self):
+        p = ThroughputProfile("w", "V100", {8: 0.01, 16: 0.018}, 0.002, 0.05)
+        q = profile_from_dict(profile_to_dict(p))
+        assert q.step_times == p.step_times
+        assert q.update_time == p.update_time
+        assert q.comm_overhead == p.comm_overhead
+
+    def test_missing_field(self):
+        with pytest.raises(ValueError, match="missing"):
+            profile_from_dict({"workload": "w"})
+
+    def test_comm_overhead_defaults(self):
+        data = profile_to_dict(ThroughputProfile("w", "V100", {8: 0.01}, 0.002))
+        del data["comm_overhead"]
+        assert profile_from_dict(data).comm_overhead == 0.0
+
+
+class TestStoreRoundtrip:
+    def test_save_load(self, tmp_path):
+        store = OfflineProfiler(seed=1).profile_all(
+            "resnet50_imagenet", ["V100", "P100"])
+        path = str(tmp_path / "profiles.json")
+        save_store(store, path)
+        loaded = load_store(path)
+        assert len(loaded) == 2
+        a = store.get("resnet50_imagenet", "V100")
+        b = loaded.get("resnet50_imagenet", "V100")
+        assert a.step_times == b.step_times
+
+    def test_loaded_store_drives_solver(self, tmp_path):
+        from repro.hetero import HeterogeneousSolver
+
+        store = OfflineProfiler(seed=1).profile_all(
+            "resnet50_imagenet", ["V100", "P100"])
+        path = str(tmp_path / "profiles.json")
+        save_store(store, path)
+        solver = HeterogeneousSolver("resnet50_imagenet", load_store(path))
+        best = solver.solve({"V100": 2, "P100": 2}, 8192)
+        assert best.global_batch_size == 8192
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "profiles": []}))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_store(str(path))
+
+    def test_json_is_human_readable(self, tmp_path):
+        store = ProfileStore()
+        store.add(ThroughputProfile("w", "V100", {8: 0.01}, 0.002))
+        path = str(tmp_path / "p.json")
+        save_store(store, path)
+        data = json.loads(open(path).read())
+        assert data["profiles"][0]["device_type"] == "V100"

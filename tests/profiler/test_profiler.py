@@ -1,0 +1,132 @@
+"""Offline profiler and throughput profiles (§5.1.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framework import get_workload
+from repro.hardware import PerfModel, get_spec
+from repro.profiler import OfflineProfiler, ProfileStore, ThroughputProfile
+from repro.utils.validation import is_power_of_two_like
+
+
+class TestThroughputProfile:
+    def _profile(self):
+        return ThroughputProfile(
+            workload="w", device_type="V100",
+            step_times={32: 0.04, 64: 0.07, 128: 0.13},
+            update_time=0.005, comm_overhead=0.1,
+        )
+
+    def test_interpolation_exact_at_knots(self):
+        p = self._profile()
+        assert p.step_time(64) == pytest.approx(0.07)
+
+    def test_interpolation_between_knots(self):
+        p = self._profile()
+        assert p.step_time(96) == pytest.approx(0.10)
+
+    def test_extrapolation_above(self):
+        p = self._profile()
+        # slope between 64 and 128 is ~0.0009375/example
+        assert p.step_time(192) == pytest.approx(0.13 + 64 * 0.0009375)
+
+    def test_extrapolation_below(self):
+        p = self._profile()
+        assert 0 < p.step_time(16) < 0.04
+
+    def test_throughput_increases_with_batch(self):
+        p = self._profile()
+        assert p.throughput(128) > p.throughput(32)
+
+    def test_curve_points(self):
+        p = self._profile()
+        assert [b for b, _ in p.curve()] == [32, 64, 128]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputProfile("w", "V100", {}, 0.1)
+        with pytest.raises(ValueError):
+            ThroughputProfile("w", "V100", {0: 0.1}, 0.1)
+        with pytest.raises(ValueError):
+            ThroughputProfile("w", "V100", {4: -1.0}, 0.1)
+        with pytest.raises(ValueError):
+            p = self._profile()
+            p.step_time(0)
+
+
+class TestProfileStore:
+    def test_roundtrip(self):
+        store = ProfileStore()
+        p = ThroughputProfile("w", "V100", {8: 0.01}, 0.001)
+        store.add(p)
+        assert store.get("w", "V100") is p
+        assert store.has("w", "V100")
+        assert not store.has("w", "P100")
+        assert store.device_types("w") == ["V100"]
+        assert len(store) == 1
+
+    def test_missing(self):
+        with pytest.raises(KeyError, match="no profile"):
+            ProfileStore().get("w", "V100")
+
+
+class TestOfflineProfiler:
+    def test_grid_is_power_of_two_like(self):
+        prof = OfflineProfiler()
+        p = prof.profile("resnet50_imagenet", "V100")
+        assert all(is_power_of_two_like(b) for b in p.batch_sizes)
+        assert p.max_batch == 256  # paper anchor
+
+    def test_profiles_close_to_truth(self):
+        prof = OfflineProfiler(noise=0.02, steps_per_point=20, seed=0)
+        perf = PerfModel()
+        wl = get_workload("resnet50_imagenet")
+        p = prof.profile("resnet50_imagenet", "V100")
+        for b in p.batch_sizes:
+            truth = perf.wave_time(wl, get_spec("V100"), b)
+            assert p.step_time(b) == pytest.approx(truth, rel=0.05)
+
+    def test_profiles_are_reproducible(self):
+        a = OfflineProfiler(seed=3).profile("resnet50_imagenet", "P100")
+        b = OfflineProfiler(seed=3).profile("resnet50_imagenet", "P100")
+        assert a.step_times == b.step_times
+
+    def test_noise_seeds_differ(self):
+        a = OfflineProfiler(seed=3, noise=0.05).profile("resnet50_imagenet", "P100")
+        b = OfflineProfiler(seed=4, noise=0.05).profile("resnet50_imagenet", "P100")
+        assert a.step_times != b.step_times
+
+    def test_zero_noise_is_exact(self):
+        prof = OfflineProfiler(noise=0.0)
+        perf = PerfModel()
+        wl = get_workload("resnet50_imagenet")
+        p = prof.profile("resnet50_imagenet", "V100", batch_sizes=[64])
+        assert p.step_times[64] == pytest.approx(
+            perf.wave_time(wl, get_spec("V100"), 64), rel=1e-12)
+
+    def test_workload_too_big_for_device(self):
+        prof = OfflineProfiler()
+        # BERT-LARGE fits K80? params 1.3GB*4 + act: max_batch may be >0; use
+        # an explicit empty grid instead.
+        with pytest.raises(ValueError):
+            prof.profile("resnet50_imagenet", "V100", batch_sizes=[])
+
+    def test_profile_all(self):
+        store = OfflineProfiler().profile_all("resnet50_imagenet",
+                                              ["V100", "P100", "K80"])
+        assert len(store) == 3
+        assert store.device_types("resnet50_imagenet") == ["K80", "P100", "V100"]
+
+    def test_comm_overhead_positive_and_model_scaled(self):
+        prof = OfflineProfiler()
+        small = prof.estimate_comm_overhead(get_workload("resnet56_cifar10"))
+        big = prof.estimate_comm_overhead(get_workload("bert_large_glue"))
+        assert 0 < small < big
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            OfflineProfiler(noise=-0.1)
+        with pytest.raises(ValueError):
+            OfflineProfiler(steps_per_point=0)

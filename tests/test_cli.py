@@ -1,0 +1,83 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _parse_device_counts, _parse_resize, build_parser, main
+
+
+class TestParsing:
+    def test_device_counts(self):
+        assert _parse_device_counts("V100=2,P100=4") == {"V100": 2, "P100": 4}
+
+    def test_device_counts_bad(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_device_counts("V100")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_device_counts("V100=x")
+
+    def test_resize(self):
+        assert _parse_resize("2:4") == (2, 4)
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_resize("2-4")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--workload", "nope",
+                                       "--batch", "8", "--virtual-nodes", "2"])
+
+
+class TestCommands:
+    def test_plan(self, capsys):
+        rc = main(["plan", "--workload", "mlp_synthetic", "--batch", "32",
+                   "--virtual-nodes", "4", "--devices", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ExecutionPlan" in out and "predicted step" in out
+
+    def test_train_with_resize(self, capsys):
+        rc = main(["train", "--workload", "mlp_synthetic", "--batch", "32",
+                   "--virtual-nodes", "4", "--devices", "2", "--epochs", "2",
+                   "--dataset-size", "256", "--resize", "0:1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resized to 1 device(s)" in out
+        assert "val acc" in out
+
+    def test_profile(self, capsys):
+        rc = main(["profile", "--workload", "resnet50_imagenet",
+                   "--device-types", "V100"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resnet50_imagenet on V100" in out
+        assert "256" in out  # the V100 max batch appears on the grid
+
+    def test_solve(self, capsys):
+        rc = main(["solve", "--workload", "resnet50_imagenet", "--batch", "8192",
+                   "--pool", "V100=2,P100=2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "B=8192" in out
+
+    def test_simulate(self, capsys):
+        rc = main(["simulate", "--jobs", "4", "--rate", "12", "--gpus", "4",
+                   "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "virtualflow-wfs" in out and "static-priority" in out
+
+    def test_gavel(self, capsys):
+        rc = main(["gavel", "--jobs", "4", "--rate", "6", "--seed", "1",
+                   "--pool", "V100=2,P100=4,K80=8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Gavel+HT" in out

@@ -1,0 +1,134 @@
+"""End-to-end integration scenarios spanning multiple subsystems.
+
+Each test tells one complete story a real user would live through, touching
+profiler + solver + trainer + elasticity + checkpointing together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TrainerConfig, VirtualFlowTrainer
+from repro.core import (
+    ExecutionPlan,
+    Mapping,
+    VirtualNodeSet,
+    handle_device_failure,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.data import Compose, GaussianNoise, RandomHorizontalFlip
+from repro.hardware import Cluster
+from repro.hetero import HeterogeneousSolver, materialize
+from repro.profiler import OfflineProfiler, load_store, save_store
+
+
+def _params(trainer):
+    return trainer.executor.model.parameters()
+
+
+def _equal(a, b) -> bool:
+    pa, pb = _params(a), _params(b)
+    return all(np.array_equal(pa[k], pb[k]) for k in pa)
+
+
+class TestProfilerToTrainingPipeline:
+    def test_profile_solve_materialize_train(self, tmp_path):
+        """The full §5 workflow: profile offline, persist, solve, train —
+        and the heterogeneous run matches a single-GPU run bit-exactly."""
+        store = OfflineProfiler(seed=0).profile_all("resnet56_cifar10",
+                                                    ["V100", "P100"])
+        path = str(tmp_path / "profiles.json")
+        save_store(store, path)
+        solver = HeterogeneousSolver("resnet56_cifar10", load_store(path))
+        best = solver.solve({"V100": 1, "P100": 1}, 64)
+        cluster, vn_set, mapping = materialize(best)
+
+        hetero = VirtualFlowTrainer(
+            TrainerConfig(workload="resnet56_cifar10", global_batch_size=64,
+                          num_virtual_nodes=vn_set.num_nodes,
+                          vn_sizes=vn_set.sizes, dataset_size=256, seed=3),
+            cluster=cluster, mapping=mapping)
+        reference = VirtualFlowTrainer(TrainerConfig(
+            workload="resnet56_cifar10", global_batch_size=64,
+            num_virtual_nodes=vn_set.num_nodes, vn_sizes=vn_set.sizes,
+            num_devices=1, dataset_size=256, seed=3))
+        hetero.train(epochs=2)
+        reference.train(epochs=2)
+        assert _equal(hetero, reference)
+
+
+class TestLifecycleStory:
+    def test_train_checkpoint_fail_resize_resume(self, tmp_path):
+        """A job survives a checkpoint, a device failure, and two resizes,
+        and still matches the untouched control run."""
+        config = TrainerConfig(workload="resnet56_cifar10", global_batch_size=32,
+                               num_virtual_nodes=8, num_devices=4,
+                               dataset_size=256, seed=8)
+        chaotic = VirtualFlowTrainer(config)
+        control = VirtualFlowTrainer(config)
+
+        chaotic.train_epoch()
+        save_checkpoint(chaotic.executor, str(tmp_path / "mid.npz"))
+        handle_device_failure(chaotic.executor, [0])
+        chaotic.train_epoch()
+        chaotic.resize(2)
+        chaotic.train_epoch()
+        control.train(epochs=3)
+        assert _equal(chaotic, control)
+
+        # And the mid-training checkpoint resumes to the same place on
+        # different hardware.
+        resumed = VirtualFlowTrainer(config)
+        load_checkpoint(resumed.executor, str(tmp_path / "mid.npz"))
+        resumed.resize(1, device_type="RTX2080Ti")
+        resumed._epochs_done = 1
+        resumed.train_epoch(epoch=1)
+        resumed.train_epoch(epoch=2)
+        assert _equal(resumed, control)
+
+
+class TestAugmentedElasticTraining:
+    def test_augmentation_plus_resize_invariance(self):
+        augment = Compose([RandomHorizontalFlip(p=0.5), GaussianNoise(std=0.05)])
+        config = TrainerConfig(workload="resnet56_cifar10", global_batch_size=32,
+                               num_virtual_nodes=4, num_devices=2,
+                               dataset_size=256, seed=12)
+        elastic = VirtualFlowTrainer(config, augment=augment)
+        steady = VirtualFlowTrainer(config, augment=augment)
+        elastic.train_epoch()
+        elastic.resize(4)
+        elastic.train_epoch()
+        steady.train(epochs=2)
+        assert _equal(elastic, steady)
+
+
+class TestMemoryDrivenDecisions:
+    def test_plan_oom_guides_vn_choice(self):
+        """Plans tell the user how many virtual nodes a config needs."""
+        from repro.core import PlanValidationError
+        from repro.framework import get_workload
+
+        wl = get_workload("resnet50_imagenet")
+        cluster = Cluster.homogeneous("V100", 2)
+        # 8 VNs on 2 GPUs -> waves of 1024: too big for 16 GB.
+        with pytest.raises(PlanValidationError):
+            ExecutionPlan(wl, Mapping.even(VirtualNodeSet.even(8192, 8), cluster))
+        # 32 VNs -> waves of 256: fits.
+        plan = ExecutionPlan(wl, Mapping.even(VirtualNodeSet.even(8192, 32), cluster))
+        assert plan.max_waves == 16
+
+    def test_simulated_time_reflects_hardware_choice(self):
+        """Same job, different hardware: same model, different clock."""
+        def run(device_type):
+            t = VirtualFlowTrainer(TrainerConfig(
+                workload="mlp_synthetic", global_batch_size=32,
+                num_virtual_nodes=4, device_type=device_type,
+                num_devices=1, dataset_size=256, seed=1))
+            t.train(epochs=1)
+            return t
+
+        v100, k80 = run("V100"), run("K80")
+        assert _equal(v100, k80)
+        assert k80.sim_time > 5 * v100.sim_time

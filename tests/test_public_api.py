@@ -1,0 +1,46 @@
+"""The public API surface: everything documented in the README must import."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("module", [
+    "repro.core", "repro.framework", "repro.hardware", "repro.data",
+    "repro.profiler", "repro.hetero", "repro.elastic", "repro.sched",
+    "repro.baselines", "repro.utils",
+])
+def test_subpackage_all_exports(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.__all__ lists missing name {name!r}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_readme_quickstart_snippet_runs():
+    """The exact snippet from the package docstring must work."""
+    from repro import TrainerConfig, VirtualFlowTrainer
+
+    trainer = VirtualFlowTrainer(TrainerConfig(
+        workload="mlp_synthetic", global_batch_size=64,
+        num_virtual_nodes=8, device_type="V100", num_devices=2,
+        dataset_size=256,
+    ))
+    trainer.train(epochs=1)
+    trainer.resize(num_devices=1)
+    history = trainer.train(epochs=1)  # returns the cumulative history
+    assert len(history) == 2

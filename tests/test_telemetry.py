@@ -1,0 +1,80 @@
+"""Telemetry recorder."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro import TrainerConfig, VirtualFlowTrainer
+from repro.telemetry import TelemetryRecorder, summary_stats
+
+
+@pytest.fixture
+def run():
+    recorder = TelemetryRecorder()
+    trainer = VirtualFlowTrainer(TrainerConfig(
+        workload="mlp_synthetic", global_batch_size=32, num_virtual_nodes=4,
+        num_devices=2, dataset_size=256))
+    for _ in range(2):
+        record = trainer.train_epoch(on_step=recorder.on_step)
+        recorder.on_epoch(record)
+    return trainer, recorder
+
+
+class TestSummaryStats:
+    def test_values(self):
+        stats = summary_stats([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+        assert stats["p50"] == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summary_stats([])
+
+
+class TestRecorder:
+    def test_counts(self, run):
+        trainer, recorder = run
+        assert len(recorder.steps) == 2 * trainer.loader.steps_per_epoch
+        assert len(recorder.epochs) == 2
+        assert recorder.total_examples() == len(recorder.steps) * 32
+
+    def test_total_sim_time_matches_trainer(self, run):
+        trainer, recorder = run
+        assert recorder.total_sim_time() == pytest.approx(trainer.sim_time)
+
+    def test_summaries(self, run):
+        _, recorder = run
+        loss = recorder.loss_summary()
+        assert loss["min"] <= loss["p50"] <= loss["max"]
+        assert recorder.throughput_summary()["mean"] > 0
+
+    def test_csv_export(self, run, tmp_path):
+        _, recorder = run
+        path = str(tmp_path / "steps.csv")
+        recorder.to_csv(path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(recorder.steps)
+        assert float(rows[0]["loss"]) == pytest.approx(recorder.steps[0].loss)
+
+    def test_json_export(self, run, tmp_path):
+        _, recorder = run
+        path = str(tmp_path / "run.json")
+        recorder.to_json(path)
+        data = json.loads(open(path).read())
+        assert len(data["steps"]) == len(recorder.steps)
+        assert len(data["epochs"]) == 2
+        assert data["summaries"]["loss"]["mean"] > 0
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TelemetryRecorder().to_csv(str(tmp_path / "x.csv"))
+
+    def test_step_indices_sequential(self, run):
+        _, recorder = run
+        assert [s.step for s in recorder.steps] == list(range(len(recorder.steps)))

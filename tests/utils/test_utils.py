@@ -1,0 +1,126 @@
+"""Utilities: seeding, units, tables, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    GB,
+    MB,
+    derive_rng,
+    derive_seed,
+    format_bytes,
+    format_duration,
+    format_table,
+    power_of_two_like_sizes,
+    vn_rng,
+)
+from repro.utils.seeding import data_order
+from repro.utils.validation import check_positive, check_power_of_two_like, is_power_of_two_like
+
+
+class TestSeeding:
+    def test_same_coords_same_stream(self):
+        a = vn_rng(0, 1, 2, 3).random(8)
+        b = vn_rng(0, 1, 2, 3).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("coords", [(1, 1, 2, 3), (0, 2, 2, 3),
+                                        (0, 1, 3, 3), (0, 1, 2, 4)])
+    def test_any_coordinate_changes_stream(self, coords):
+        base = vn_rng(0, 1, 2, 3).random(8)
+        other = vn_rng(*coords).random(8)
+        assert not np.array_equal(base, other)
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(7, 1, 2) == derive_seed(7, 1, 2)
+        assert derive_seed(7, 1, 2) != derive_seed(7, 2, 1)
+
+    def test_data_order_is_permutation(self):
+        order = data_order(0, 3, 100)
+        np.testing.assert_array_equal(np.sort(order), np.arange(100))
+
+    def test_data_order_changes_by_epoch(self):
+        assert not np.array_equal(data_order(0, 0, 100), data_order(0, 1, 100))
+
+    def test_domain_separation(self):
+        # Same numeric coords under different domains must differ.
+        a = derive_rng(0, 1, 5).random(4)
+        b = derive_rng(0, 2, 5).random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestUnits:
+    @pytest.mark.parametrize("n,expected", [
+        (512, "512B"),
+        (2048, "2.00KB"),
+        (int(104.5 * MB), "104.50MB"),
+        (8 * GB, "8.00GB"),
+    ])
+    def test_format_bytes(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_format_bytes_negative(self):
+        assert format_bytes(-2048) == "-2.00KB"
+
+    @pytest.mark.parametrize("s,expected", [
+        (1.5, "1.50s"),
+        (65, "1m05s"),
+        (3700, "1h01m"),
+    ])
+    def test_format_duration(self, s, expected):
+        assert format_duration(s) == expected
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert "30" in lines[3]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 6, 12, 48, 192, 768, 3072, 1024])
+    def test_power_of_two_like_accepts(self, n):
+        assert is_power_of_two_like(n)
+        check_power_of_two_like("b", n)
+
+    @pytest.mark.parametrize("n", [0, -4, 5, 7, 9, 100, 1000])
+    def test_power_of_two_like_rejects(self, n):
+        assert not is_power_of_two_like(n)
+        with pytest.raises(ValueError):
+            check_power_of_two_like("b", n)
+
+    def test_sizes_grid_matches_paper_examples(self):
+        grid = power_of_two_like_sizes(1024)
+        # Paper examples: 48, 192, 768 are midpoints on the grid.
+        assert {48, 192, 768} <= set(grid)
+        assert grid == sorted(grid)
+
+    def test_sizes_respect_bounds(self):
+        grid = power_of_two_like_sizes(256, min_size=32)
+        assert min(grid) >= 32 and max(grid) <= 256
+
+    def test_empty_grid(self):
+        assert power_of_two_like_sizes(0) == []
+
+    @given(st.integers(1, 10**6))
+    def test_property_grid_members_validate(self, n):
+        for s in power_of_two_like_sizes(min(n, 4096)):
+            assert is_power_of_two_like(s)
