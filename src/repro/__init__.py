@@ -22,6 +22,7 @@ Quickstart::
 
 from repro.core import (
     EpochResult,
+    ExecutionBackend,
     ExecutionPlan,
     FaultToleranceError,
     GradientBuffer,
@@ -34,9 +35,13 @@ from repro.core import (
     VirtualFlowExecutor,
     VirtualFlowTrainer,
     VirtualNode,
+    VirtualNodeEngine,
     VirtualNodeSet,
+    backend_names,
+    get_backend,
     handle_device_failure,
     load_checkpoint,
+    register_backend,
     restore_device,
     save_checkpoint,
 )
@@ -63,6 +68,7 @@ __all__ = [
     "Device",
     "DeviceSpec",
     "EpochResult",
+    "ExecutionBackend",
     "ExecutionPlan",
     "FaultToleranceError",
     "GradientBuffer",
@@ -79,15 +85,19 @@ __all__ = [
     "VirtualFlowExecutor",
     "VirtualFlowTrainer",
     "VirtualNode",
+    "VirtualNodeEngine",
     "VirtualNodeSet",
     "WORKLOADS",
     "Workload",
     "__version__",
+    "backend_names",
+    "get_backend",
     "get_spec",
     "get_workload",
     "handle_device_failure",
     "load_checkpoint",
     "make_dataset",
+    "register_backend",
     "restore_device",
     "save_checkpoint",
 ]

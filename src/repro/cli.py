@@ -4,6 +4,8 @@ Commands mirror the library's main entry points:
 
 * ``train``    — train a workload under virtual node processing, with
   optional mid-training resizes;
+* ``infer``    — serve inference batches under virtual node processing and
+  report per-request latency;
 * ``plan``     — show the execution plan (waves, memory, predicted step
   time) for a configuration without training;
 * ``profile``  — run the offline profiler for a workload across device
@@ -20,7 +22,16 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from repro.core import ExecutionPlan, Mapping, TrainerConfig, VirtualFlowTrainer, VirtualNodeSet
+from repro.core import (
+    ExecutionPlan,
+    InferenceEngine,
+    Mapping,
+    TrainerConfig,
+    VirtualFlowTrainer,
+    VirtualNodeSet,
+    backend_names,
+)
+from repro.data import make_dataset
 from repro.elastic import (
     ClusterSimulator,
     ElasticWFSScheduler,
@@ -85,6 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--resize", type=_parse_resize, action="append",
                        default=[], metavar="EPOCH:DEVICES",
                        help="resize after EPOCH to DEVICES (repeatable)")
+    train.add_argument("--backend", choices=backend_names(), default="reference",
+                       help="execution backend (host strategy; results are "
+                            "backend-independent)")
+
+    infer = sub.add_parser("infer", help="serve inference under virtual nodes")
+    infer.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    infer.add_argument("--batch", type=int, required=True,
+                       help="virtual-node-set batch size (hardware-free)")
+    infer.add_argument("--virtual-nodes", type=int, required=True)
+    infer.add_argument("--devices", type=int, default=1)
+    infer.add_argument("--device-type", default="V100")
+    infer.add_argument("--requests", type=int, default=4,
+                       help="number of request batches to serve")
+    infer.add_argument("--seed", type=int, default=0)
+    infer.add_argument("--backend", choices=backend_names(), default="reference")
 
     plan = sub.add_parser("plan", help="show the execution plan for a config")
     plan.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
@@ -111,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="job arrivals per hour")
     simulate.add_argument("--gpus", type=int, default=8)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--backend", choices=backend_names(), default="reference",
+                          help="execution backend stamped on every job in "
+                               "the trace")
 
     gavel = sub.add_parser("gavel", help="Gavel vs Gavel+heterogeneous")
     gavel.add_argument("--jobs", type=int, default=12)
@@ -129,7 +158,8 @@ def _cmd_train(args) -> int:
         workload=args.workload, global_batch_size=args.batch,
         num_virtual_nodes=args.virtual_nodes, device_type=args.device_type,
         num_devices=args.devices, seed=args.seed,
-        dataset_size=args.dataset_size, learning_rate=args.lr))
+        dataset_size=args.dataset_size, learning_rate=args.lr,
+        backend=args.backend))
     print(trainer.executor.plan.describe())
     rows = []
     for epoch in range(args.epochs):
@@ -143,6 +173,29 @@ def _cmd_train(args) -> int:
             print(f"resized to {resizes[epoch]} device(s) after epoch {epoch} "
                   f"(migration {migration*1e3:.1f} ms)")
     print(format_table(["epoch", "train loss", "val acc", "sim time", "GPUs"], rows))
+    return 0
+
+
+def _cmd_infer(args) -> int:
+    workload = get_workload(args.workload)
+    vn_set = VirtualNodeSet.even(args.batch, args.virtual_nodes)
+    cluster = Cluster.homogeneous(args.device_type, args.devices)
+    engine = InferenceEngine(workload, workload.build_model(args.seed),
+                             Mapping.even(vn_set, cluster), backend=args.backend)
+    # val_fraction is 0.2, so 8x the batch guarantees full request batches.
+    dataset = make_dataset(workload.dataset, n=max(8 * args.batch, 64), seed=args.seed)
+    rows = []
+    for r in range(args.requests):
+        start = (r * args.batch) % max(1, len(dataset.x_val) - args.batch + 1)
+        result = engine.predict(dataset.x_val[start:start + args.batch])
+        rows.append([r, len(result.logits), result.waves,
+                     f"{result.sim_latency * 1e3:.2f}"])
+    print(format_table(
+        ["request", "examples", "waves", "latency (ms)"], rows,
+        title=f"{args.workload} inference on {args.devices}x{args.device_type}, "
+              f"{args.virtual_nodes} virtual nodes, backend={engine.backend.name}"))
+    print(f"served {engine.requests_served} requests in "
+          f"{format_duration(engine.sim_time)} simulated")
     return 0
 
 
@@ -187,7 +240,8 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    trace = generate_trace(args.jobs, args.rate, seed=args.seed)
+    trace = generate_trace(args.jobs, args.rate, seed=args.seed,
+                           backend=args.backend)
     rows = []
     for scheduler in (ElasticWFSScheduler(), StaticPriorityScheduler()):
         metrics = compute_metrics(
@@ -199,7 +253,8 @@ def _cmd_simulate(args) -> int:
                      f"{metrics.utilization:.1%}"])
     print(format_table(
         ["scheduler", "makespan", "median JCT", "median queue", "util"], rows,
-        title=f"{args.jobs} jobs at {args.rate}/h on {args.gpus} GPUs"))
+        title=f"{args.jobs} jobs at {args.rate}/h on {args.gpus} GPUs "
+              f"(backend={args.backend})"))
     return 0
 
 
@@ -220,6 +275,7 @@ def _cmd_gavel(args) -> int:
 
 _COMMANDS = {
     "train": _cmd_train,
+    "infer": _cmd_infer,
     "plan": _cmd_plan,
     "profile": _cmd_profile,
     "solve": _cmd_solve,

@@ -6,6 +6,19 @@ nodes map many-to-one onto accelerators and execute as sequential waves.
 Model semantics (batch size, data order, RNG, stateful kernels) attach to
 virtual nodes, so any change of mapping — fewer devices, more devices,
 different device types — is invisible to the application.
+
+The core is organized around two seams:
+
+* the **engine layer** (:mod:`repro.core.engine`): one physical substrate —
+  validated plans, perf model, bottleneck latency, remapping — shared by the
+  training executor, the inference engine, and the elastic job model, so no
+  driver re-implements shard/latency/plan logic;
+* the **backend seam** (:mod:`repro.core.backends`): *how* waves execute on
+  the host is a pluggable strategy.  ``reference`` is the canonical serial
+  loop and bit-exactness oracle; ``fused`` vectorizes equal-size wave groups
+  into single stacked steps, bit-identical for stateless workloads.  Future
+  strategies (async sync, multi-process devices, serving batching) plug in
+  here without touching the semantic model.
 """
 
 from repro.core.virtual_node import VirtualNode, VirtualNodeSet
@@ -15,6 +28,15 @@ from repro.core.gradient_buffer import GradientBuffer
 from repro.core.sync import allreduce_gradients, weighted_average
 from repro.core.state import VirtualNodeState, migrate_states
 from repro.core.plan import ExecutionPlan, PlanValidationError
+from repro.core.backends import (
+    ExecutionBackend,
+    FusedBackend,
+    ReferenceBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.core.engine import VirtualNodeEngine
 from repro.core.pipeline import (
     PipelineConfig,
     data_parallel_pipeline,
@@ -33,17 +55,24 @@ from repro.core.trainer import EpochResult, TrainerConfig, VirtualFlowTrainer
 
 __all__ = [
     "EpochResult",
+    "ExecutionBackend",
     "ExecutionPlan",
     "FaultToleranceError",
+    "FusedBackend",
     "GradientBuffer",
     "InferenceEngine",
     "InferenceResult",
     "Mapping",
     "PipelineConfig",
     "PlanValidationError",
+    "ReferenceBackend",
     "StepResult",
+    "VirtualNodeEngine",
+    "backend_names",
     "data_parallel_pipeline",
+    "get_backend",
     "pipelined_virtual_nodes",
+    "register_backend",
     "virtual_node_pipeline",
     "TrainerConfig",
     "VirtualFlowExecutor",

@@ -1,0 +1,37 @@
+"""Pluggable execution backends.
+
+The semantic model (virtual nodes, canonical reduction order, per-node
+state) is fixed; *how* waves execute on the host is a strategy behind the
+:class:`ExecutionBackend` interface:
+
+* ``reference`` — the canonical serial wave loop, the bit-exactness oracle;
+* ``fused`` — equal-size wave groups executed as single vectorized stacked
+  steps, bit-identical for stateless workloads, with a serial fallback.
+
+Resolve names with :func:`get_backend`; extend with :func:`register_backend`.
+"""
+
+from repro.core.backends.base import (
+    ExecutionBackend,
+    TrainStep,
+    TrainStepOutput,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.core.backends.fused import FusedBackend
+from repro.core.backends.reference import ReferenceBackend
+
+register_backend("reference", ReferenceBackend)
+register_backend("fused", FusedBackend)
+
+__all__ = [
+    "ExecutionBackend",
+    "FusedBackend",
+    "ReferenceBackend",
+    "TrainStep",
+    "TrainStepOutput",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,151 @@
+"""The execution-backend seam.
+
+VirtualFlow's semantic model — virtual nodes, canonical-order reduction,
+per-node state and RNG streams — is fixed by the paper.  *How* those
+semantics are realized on the host is an execution-strategy choice, and this
+module pins down the interface between the two:
+
+* :class:`ExecutionBackend` is the strategy interface.  A backend receives
+  one step's logical inputs (:class:`TrainStep`) and returns the averaged
+  gradients plus the example-weighted loss sum (:class:`TrainStepOutput`);
+  for serving it turns one request batch into logits.  Everything a backend
+  may *not* change — sharding, weighting, optimizer application, simulated
+  time — lives in the engine/executor layer above.
+
+* :func:`get_backend` / :func:`register_backend` form the registry that the
+  trainer config, the CLI, and the elastic job specs resolve names against.
+
+Built-in backends:
+
+``reference``
+    The canonical serial wave loop (:class:`~repro.core.backends.reference.
+    ReferenceBackend`).  It is the bit-exactness oracle every other backend
+    is tested against.
+
+``fused``
+    :class:`~repro.core.backends.fused.FusedBackend` vectorizes waves whose
+    virtual nodes share identical (empty) stateful buffers into one stacked
+    forward/backward, reproducing the reference arithmetic bit-for-bit for
+    stateless workloads and falling back to the serial loop otherwise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.state import VirtualNodeState
+from repro.core.virtual_node import VirtualNodeSet
+from repro.framework.layers import Module
+from repro.framework.losses import Loss
+
+__all__ = [
+    "TrainStep",
+    "TrainStepOutput",
+    "ExecutionBackend",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+]
+
+Grads = Dict[str, np.ndarray]
+
+
+@dataclass
+class TrainStep:
+    """The logical inputs of one training step, independent of backend.
+
+    ``shards`` are the per-virtual-node ``(x, y)`` slices in canonical order
+    (produced by :func:`repro.core.sharding.shard_batch`); ``vn_states`` are
+    updated in place when the model carries stateful kernels.
+    """
+
+    model: Module
+    loss_fn: Loss
+    vn_set: VirtualNodeSet
+    vn_states: List[VirtualNodeState]
+    shards: List[Tuple[np.ndarray, np.ndarray]]
+    seed: int
+    epoch: int
+    step: int
+    augment: Optional[object] = None  # repro.data.augment.Transform
+
+
+@dataclass(frozen=True)
+class TrainStepOutput:
+    """What a backend must produce for one step.
+
+    ``avg_grads`` is the §5.2 example-weighted average in canonical
+    virtual-node order; ``weighted_loss`` is ``sum_i loss_i * batch_i`` (the
+    caller divides by the global batch size).
+    """
+
+    avg_grads: Grads
+    weighted_loss: float
+
+
+class ExecutionBackend(ABC):
+    """Strategy interface: how waves execute on the host substrate.
+
+    Implementations must be stateless across steps (all persistent training
+    state lives in the executor) so a single backend instance can be shared
+    by training, inference, and the elastic simulator's job runner.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def train_step(self, step: TrainStep) -> TrainStepOutput:
+        """Execute every wave of one step and reduce gradients.
+
+        The contract: the returned gradients and loss must equal what the
+        canonical serial loop produces for the same :class:`TrainStep` —
+        bit-for-bit when the model is stateless, and exactly including
+        per-node stateful-kernel updates otherwise.
+        """
+
+    @abstractmethod
+    def infer(self, model: Module, vn_set: VirtualNodeSet, x: np.ndarray) -> np.ndarray:
+        """Run one inference batch sharded across virtual nodes.
+
+        Returns logits concatenated in canonical virtual-node order;
+        inference is deterministic (no dropout) so results must be identical
+        across backends and mappings.
+        """
+
+
+_REGISTRY: Dict[str, Callable[[], "ExecutionBackend"]] = {}
+_INSTANCES: Dict[str, "ExecutionBackend"] = {}
+
+
+def register_backend(name: str, factory: Callable[[], "ExecutionBackend"]) -> None:
+    """Register a backend factory under ``name`` (lowercase)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def backend_names() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(backend) -> "ExecutionBackend":
+    """Resolve a backend name (or pass through an instance).
+
+    Backends are stateless, so named lookups share one instance per name.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    key = str(backend).lower()
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; available: {backend_names()}"
+        )
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _REGISTRY[key]()
+    return _INSTANCES[key]

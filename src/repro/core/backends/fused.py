@@ -1,0 +1,159 @@
+"""The fused execution backend: wave groups as single vectorized steps.
+
+The reference executor pays for determinism with a strictly serial per-wave
+loop — one forward/backward, one full ``state_dict`` round-trip, and one
+deep gradient copy per virtual node.  :class:`FusedBackend` removes that
+cost for the common case:
+
+* Waves whose virtual nodes share identical stateful buffers — stateless
+  models, where every node's state is empty forever — are grouped by shard
+  size and executed as **one** stacked forward/backward per group
+  (:mod:`repro.core.backends.vectorized`), with per-virtual-node gradient
+  contributions kept separate and reduced in canonical order.  The result
+  is bit-identical to the reference loop (see the vectorized module's
+  contract) while eliminating the per-wave ``state_dict`` load/save and the
+  per-wave gradient dict copies entirely.
+* Models with batch-coupled stateful kernels (BatchNorm) fall back to the
+  reference loop for training — fusing their waves would change semantics,
+  not just scheduling — but still vectorize inference, where statistics
+  come from frozen buffers.
+
+Fusing changes *host wall-clock* cost only: the simulated device schedule
+(waves, memory, step time) is a property of the mapping and is accounted by
+the engine layer regardless of backend.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.backends.base import (
+    ExecutionBackend,
+    Grads,
+    TrainStep,
+    TrainStepOutput,
+)
+from repro.core.backends.reference import ReferenceBackend
+from repro.core.backends.vectorized import (
+    VectorizedRun,
+    supports_inference,
+    supports_training,
+    vectorized_loss,
+)
+from repro.core.sharding import shard_indices
+from repro.core.virtual_node import VirtualNodeSet
+from repro.framework.layers import Module
+from repro.utils.seeding import augment_rng, vn_rng
+
+__all__ = ["FusedBackend"]
+
+
+class FusedBackend(ExecutionBackend):
+    """Vectorize equal-size wave groups; fall back to the serial oracle."""
+
+    name = "fused"
+
+    def __init__(self) -> None:
+        self._reference = ReferenceBackend()
+        # Module graphs and loss types are immutable, so kernel coverage is a
+        # per-model constant; memoize it (weakly, models outlive no executor).
+        self._coverage: "weakref.WeakKeyDictionary[Module, Dict[type, bool]]" = (
+            weakref.WeakKeyDictionary())
+
+    # -- training ------------------------------------------------------------
+
+    def can_fuse(self, step: TrainStep) -> bool:
+        """Whether this step takes the vectorized path (exposed for tests)."""
+        per_loss = self._coverage.setdefault(step.model, {})
+        loss_type = type(step.loss_fn)
+        if loss_type not in per_loss:
+            per_loss[loss_type] = supports_training(step.model, step.loss_fn)
+        return per_loss[loss_type] and not any(
+            state.buffers for state in step.vn_states)
+
+    def train_step(self, step: TrainStep) -> TrainStepOutput:
+        if not self.can_fuse(step):
+            return self._reference.train_step(step)
+
+        # Group virtual nodes by shard size (canonical order within groups);
+        # each group runs as one stacked forward/backward.
+        groups: Dict[int, List[int]] = {}
+        for node in step.vn_set:
+            groups.setdefault(node.batch_size, []).append(node.index)
+
+        group_grads: Dict[int, Dict[str, np.ndarray]] = {}
+        group_losses: Dict[int, List[float]] = {}
+        vn_loc: Dict[int, Tuple[int, int]] = {}  # vn index -> (size, stack pos)
+        keys: List[str] = []
+        for size, indices in groups.items():
+            xs: List[np.ndarray] = []
+            for i in indices:
+                x_vn = step.shards[i][0]
+                if step.augment is not None:
+                    x_vn = step.augment.apply(
+                        x_vn, augment_rng(step.seed, step.epoch, step.step, i))
+                xs.append(x_vn)
+            x_stack = np.stack(xs)
+            y_stack = np.stack([step.shards[i][1] for i in indices])
+            rngs = [vn_rng(step.seed, step.epoch, step.step, i) for i in indices]
+            run = VectorizedRun(len(indices), training=True, rngs=rngs)
+            logits = run.forward(step.model, x_stack)
+            losses, dloss = vectorized_loss(step.loss_fn, logits, y_stack)
+            run.backward(step.model, dloss)
+            group_grads[size] = run.param_grads
+            group_losses[size] = losses
+            if not keys:
+                keys = sorted(run.param_grads)
+            for pos, i in enumerate(indices):
+                vn_loc[i] = (size, pos)
+
+        # Segment reduction in canonical virtual-node order — the exact
+        # arithmetic of sync.weighted_average, including its sorted key
+        # iteration (grad_norm later sums values in dict order).
+        total = float(sum(float(node.batch_size) for node in step.vn_set))
+        avg: Grads = {}
+        if len(groups) == 1:
+            # Even split: every node carries the same weight, so scaling the
+            # whole stack and reducing over the stack axis (a sequential,
+            # in-order accumulation in NumPy) is bit-identical to the
+            # canonical loop — in one vector op per parameter.
+            (size,) = groups
+            scale = float(step.vn_set[0].batch_size) / total
+            for key in keys:
+                avg[key] = (scale * group_grads[size][key]).sum(axis=0)
+        else:
+            for key in keys:
+                size0, pos0 = vn_loc[0]
+                acc = np.zeros_like(group_grads[size0][key][pos0])
+                for node in step.vn_set:
+                    size, pos = vn_loc[node.index]
+                    acc += (float(node.batch_size) / total) * group_grads[size][key][pos]
+                avg[key] = acc
+
+        weighted_loss = 0.0
+        for node in step.vn_set:
+            size, pos = vn_loc[node.index]
+            weighted_loss += group_losses[size][pos] * node.batch_size
+        return TrainStepOutput(avg_grads=avg, weighted_loss=weighted_loss)
+
+    # -- inference -----------------------------------------------------------
+
+    def infer(self, model: Module, vn_set: VirtualNodeSet, x: np.ndarray) -> np.ndarray:
+        if not supports_inference(model):
+            return self._reference.infer(model, vn_set, x)
+        bounds = shard_indices(vn_set, len(x))
+        groups: Dict[int, List[int]] = {}  # shard size -> shard positions
+        for idx, (start, end) in enumerate(bounds):
+            if end > start:
+                groups.setdefault(end - start, []).append(idx)
+        outputs: Dict[int, np.ndarray] = {}
+        for size, idxs in groups.items():
+            stack = np.stack([x[bounds[i][0]:bounds[i][1]] for i in idxs])
+            run = VectorizedRun(len(idxs), training=False)
+            logits = run.forward(model, stack)
+            for pos, i in enumerate(idxs):
+                outputs[i] = logits[pos]
+        return np.concatenate([outputs[i] for i in sorted(outputs)], axis=0)

@@ -1,0 +1,70 @@
+"""The canonical serial execution backend (paper Figure 5).
+
+One training step processes every virtual node's shard as a strictly serial
+wave loop in **canonical virtual-node order**: load the node's stateful
+kernels, forward, backward, snapshot its gradients, save its kernels.
+Floating-point addition is not associative, so this fixed order is what makes
+training bit-identical across any virtual-node-to-device mapping — the
+strongest form of the paper's "convergence depends only on virtual nodes"
+guarantee.
+
+This backend is deliberately unoptimized: it is the *oracle* every faster
+backend (see :mod:`repro.core.backends.fused`) is tested against, wave for
+wave and bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.backends.base import ExecutionBackend, TrainStep, TrainStepOutput
+from repro.core.sharding import shard_indices
+from repro.core.sync import weighted_average
+from repro.core.virtual_node import VirtualNodeSet
+from repro.framework.layers import Module
+from repro.utils.seeding import augment_rng, vn_rng
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(ExecutionBackend):
+    """Serial per-wave execution in canonical virtual-node order."""
+
+    name = "reference"
+
+    def train_step(self, step: TrainStep) -> TrainStepOutput:
+        model = step.model
+        contributions: List[Tuple[Dict[str, np.ndarray], float]] = []
+        weighted_loss = 0.0
+        # Physically, shards execute as per-device waves in parallel; since
+        # every wave reads the same (frozen) parameters, iterating in
+        # canonical virtual-node order computes identical values.
+        for node, (x_vn, y_vn) in zip(step.vn_set, step.shards):
+            state = step.vn_states[node.index]
+            model.load_state_dict(state.buffers)
+            if step.augment is not None:
+                x_vn = step.augment.apply(
+                    x_vn, augment_rng(step.seed, step.epoch, step.step, node.index))
+            rng = vn_rng(step.seed, step.epoch, step.step, node.index)
+            logits = model.forward(x_vn, training=True, rng=rng)
+            loss_value = step.loss_fn.forward(logits, y_vn)
+            model.zero_grad()
+            model.backward(step.loss_fn.backward())
+            grads = {k: v.copy() for k, v in model.gradients().items()}
+            contributions.append((grads, float(node.batch_size)))
+            weighted_loss += loss_value * node.batch_size
+            # Stateful kernels updated during the wave belong to this node.
+            state.buffers = model.state_dict()
+        return TrainStepOutput(
+            avg_grads=weighted_average(contributions),
+            weighted_loss=weighted_loss,
+        )
+
+    def infer(self, model: Module, vn_set: VirtualNodeSet, x: np.ndarray) -> np.ndarray:
+        outputs: List[np.ndarray] = []
+        for start, end in shard_indices(vn_set, len(x)):
+            if end > start:
+                outputs.append(model.forward(x[start:end], training=False))
+        return np.concatenate(outputs, axis=0)

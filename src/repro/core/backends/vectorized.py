@@ -1,0 +1,568 @@
+"""Vectorized wave kernels: whole wave *groups* as one stacked tensor op.
+
+The fused backend executes every equal-size wave of a step simultaneously by
+adding a leading stack axis: where the reference loop runs ``V`` forwards of
+shape ``(b, ...)``, these kernels run one forward of shape ``(V, b, ...)``.
+
+Bit-exactness contract
+----------------------
+The point of this module is not merely "numerically close" — it reproduces
+the reference wave loop *bit for bit*.  That constrains every kernel:
+
+* NumPy maps a matmul with a stack axis (``(V, b, in) @ (in, out)``) onto
+  one GEMM call **per stack slice** with the same shapes the reference uses,
+  so per-slice results are bit-identical.  Concatenating shards along the
+  batch axis instead (``(V*b, in)``) would change the GEMM's M dimension and
+  with it OpenBLAS's kernel choice — last-ulp differences.  Kernels
+  therefore always keep the stack axis separate.
+* Reductions keep the reference's axis geometry: a per-wave reduction over
+  axes ``(0, 1)`` of a ``(b, t, d)`` tensor becomes axes ``(1, 2)`` of the
+  ``(V, b, t, d)`` stack, which NumPy reduces with the identical
+  accumulation order per slice.
+* Per-virtual-node parameter gradients are kept separate (a ``(V, ...)``
+  stack per parameter) so the caller can reduce them in canonical virtual
+  node order with the exact §5.2 weighted-average arithmetic.
+* Randomness is drawn from one generator per virtual node in stack order, so
+  each node consumes exactly the dropout stream it would under the serial
+  loop.
+
+Coverage
+--------
+Forward (training + inference) and backward kernels exist for every layer
+without *batch-coupled* training behaviour: Dense, activations, Dropout,
+LayerNorm, Embedding, multi-head attention, transformer blocks, and the
+model containers.  BatchNorm's training pass computes statistics over the
+wave's batch — fusing waves would change its semantics, not just its
+schedule — so it has an inference (eval-mode) kernel only; models containing
+it fall back to the serial loop for training but still vectorize inference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.framework import layers as L
+from repro.framework import models as M
+from repro.framework.layers import Module, softmax, softmax_backward
+from repro.framework.losses import Loss, MSELoss, SoftmaxCrossEntropy
+
+__all__ = [
+    "UnsupportedModule",
+    "VectorizedRun",
+    "supports_training",
+    "supports_inference",
+    "vectorized_loss",
+]
+
+
+class UnsupportedModule(TypeError):
+    """A module (or loss) with no vectorized kernel."""
+
+
+_FWD: Dict[Type[Module], Callable] = {}
+_BWD: Dict[Type[Module], Callable] = {}
+
+
+def _fwd(*types: Type[Module]):
+    def deco(fn):
+        for t in types:
+            _FWD[t] = fn
+        return fn
+    return deco
+
+
+def _bwd(*types: Type[Module]):
+    def deco(fn):
+        for t in types:
+            _BWD[t] = fn
+        return fn
+    return deco
+
+
+def _lookup(registry: Dict[Type[Module], Callable], cls: type) -> Optional[Callable]:
+    fn = registry.get(cls)
+    if fn is not None:
+        return fn
+    for base in cls.__mro__:
+        if base in registry:
+            registry[cls] = registry[base]  # memoize the MRO walk
+            return registry[base]
+    return None
+
+
+class VectorizedRun:
+    """One fused forward/backward over a stack of equal-size wave shards.
+
+    The run owns all transient state (activation caches, per-node parameter
+    gradients) so the model instance itself is never mutated — its own
+    caches, gradients, and buffers are untouched.
+    """
+
+    def __init__(self, num_stacked: int, training: bool,
+                 rngs: Optional[List[np.random.Generator]] = None) -> None:
+        self.num_stacked = num_stacked
+        self.training = training
+        self.rngs = rngs
+        self._cache: Dict[str, Tuple] = {}
+        # flat parameter name -> (V,) + param.shape per-virtual-node gradients
+        self.param_grads: Dict[str, np.ndarray] = {}
+
+    # -- dispatch -----------------------------------------------------------
+
+    def forward(self, module: Module, x: np.ndarray, prefix: str = "") -> np.ndarray:
+        fn = _lookup(_FWD, type(module))
+        if fn is None:
+            raise UnsupportedModule(
+                f"no vectorized forward kernel for {type(module).__name__}")
+        return fn(module, self, prefix, x)
+
+    def backward(self, module: Module, grad: np.ndarray, prefix: str = "") -> np.ndarray:
+        fn = _lookup(_BWD, type(module))
+        if fn is None:
+            raise UnsupportedModule(
+                f"no vectorized backward kernel for {type(module).__name__}")
+        return fn(module, self, prefix, grad)
+
+    # -- kernel support -----------------------------------------------------
+
+    def put(self, prefix: str, *values) -> None:
+        self._cache[prefix] = values
+
+    def get(self, prefix: str) -> Tuple:
+        return self._cache[prefix]
+
+    def add_grad(self, name: str, value: np.ndarray) -> None:
+        """Accumulate a per-virtual-node parameter gradient stack.
+
+        Mirrors the reference layers' ``grads[key] += ...`` convention: the
+        first contribution lands on zeros, so a single contribution (the
+        common case) is bit-identical to the unaccumulated value.
+        """
+        if name in self.param_grads:
+            self.param_grads[name] += value
+        else:
+            self.param_grads[name] = value
+
+
+def supports_training(model: Module, loss_fn: Loss) -> bool:
+    """True when every module has forward *and* backward kernels and the
+    model carries no stateful buffers (the batch-coupled BatchNorm case)."""
+    if type(loss_fn) not in _LOSS:
+        return False
+    for module in model.modules():
+        if module.buffers:
+            return False
+        if _lookup(_FWD, type(module)) is None or _lookup(_BWD, type(module)) is None:
+            return False
+    return True
+
+
+def supports_inference(model: Module) -> bool:
+    """True when every module has a (possibly eval-only) forward kernel."""
+    return all(_lookup(_FWD, type(m)) is not None for m in model.modules())
+
+
+# ---------------------------------------------------------------------------
+# Layer kernels.  Shapes are the reference shapes with a leading stack axis:
+# a per-wave (b, ...) tensor is processed as (V, b, ...).
+# ---------------------------------------------------------------------------
+
+
+@_fwd(L.Dense)
+def _dense_fwd(m: L.Dense, run: VectorizedRun, prefix: str, x):
+    run.put(prefix, x)
+    return x @ m.params["w"] + m.params["b"]
+
+
+@_bwd(L.Dense)
+def _dense_bwd(m: L.Dense, run: VectorizedRun, prefix: str, grad):
+    (x,) = run.get(prefix)
+    v = run.num_stacked
+    x2 = x.reshape(v, -1, m.in_dim)
+    g2 = grad.reshape(v, -1, m.out_dim)
+    run.add_grad(prefix + "w", x2.transpose(0, 2, 1) @ g2)
+    run.add_grad(prefix + "b", g2.sum(axis=1))
+    return grad @ m.params["w"].T
+
+
+@_fwd(L.ReLU)
+def _relu_fwd(m: L.ReLU, run: VectorizedRun, prefix: str, x):
+    mask = x > 0
+    run.put(prefix, mask)
+    return x * mask
+
+
+@_bwd(L.ReLU)
+def _relu_bwd(m: L.ReLU, run: VectorizedRun, prefix: str, grad):
+    (mask,) = run.get(prefix)
+    return grad * mask
+
+
+@_fwd(L.Tanh)
+def _tanh_fwd(m: L.Tanh, run: VectorizedRun, prefix: str, x):
+    t = np.tanh(x)
+    run.put(prefix, t)
+    return t
+
+
+@_bwd(L.Tanh)
+def _tanh_bwd(m: L.Tanh, run: VectorizedRun, prefix: str, grad):
+    (t,) = run.get(prefix)
+    return grad * (1.0 - t**2)
+
+
+@_fwd(L.GELU)
+def _gelu_fwd(m: L.GELU, run: VectorizedRun, prefix: str, x):
+    u = L.GELU._C * (x + 0.044715 * x**3)
+    t = np.tanh(u)
+    run.put(prefix, x, t)
+    return 0.5 * x * (1.0 + t)
+
+
+@_bwd(L.GELU)
+def _gelu_bwd(m: L.GELU, run: VectorizedRun, prefix: str, grad):
+    x, t = run.get(prefix)
+    du_dx = L.GELU._C * (1.0 + 3 * 0.044715 * x**2)
+    dt_dx = (1.0 - t**2) * du_dx
+    return grad * (0.5 * (1.0 + t) + 0.5 * x * dt_dx)
+
+
+@_fwd(L.Dropout)
+def _dropout_fwd(m: L.Dropout, run: VectorizedRun, prefix: str, x):
+    if not run.training or m.rate == 0.0:
+        run.put(prefix, None)
+        return x
+    if run.rngs is None:
+        raise ValueError("Dropout requires per-virtual-node rngs during training")
+    keep = 1.0 - m.rate
+    # One draw per virtual node, in stack order, so every node consumes the
+    # same stream it would under the serial loop.
+    mask = np.empty_like(x)
+    for i, rng in enumerate(run.rngs):
+        mask[i] = (rng.random(x.shape[1:]) < keep) / keep
+    run.put(prefix, mask)
+    return x * mask
+
+
+@_bwd(L.Dropout)
+def _dropout_bwd(m: L.Dropout, run: VectorizedRun, prefix: str, grad):
+    (mask,) = run.get(prefix)
+    if mask is None:
+        return grad
+    return grad * mask
+
+
+@_fwd(L.Flatten)
+def _flatten_fwd(m: L.Flatten, run: VectorizedRun, prefix: str, x):
+    run.put(prefix, x.shape)
+    return x.reshape(x.shape[0], x.shape[1], -1)
+
+
+@_bwd(L.Flatten)
+def _flatten_bwd(m: L.Flatten, run: VectorizedRun, prefix: str, grad):
+    (shape,) = run.get(prefix)
+    return grad.reshape(shape)
+
+
+@_fwd(L.LayerNorm)
+def _layernorm_fwd(m: L.LayerNorm, run: VectorizedRun, prefix: str, x):
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + m.eps)
+    x_hat = (x - mean) * inv_std
+    run.put(prefix, x_hat, inv_std)
+    return m.params["gamma"] * x_hat + m.params["beta"]
+
+
+@_bwd(L.LayerNorm)
+def _layernorm_bwd(m: L.LayerNorm, run: VectorizedRun, prefix: str, grad):
+    x_hat, inv_std = run.get(prefix)
+    # Reference reduces over all axes but the last of (b, ...); with the
+    # stack axis prepended that is all axes but the first and last.
+    reduce_axes = tuple(range(1, grad.ndim - 1))
+    run.add_grad(prefix + "gamma", np.sum(grad * x_hat, axis=reduce_axes))
+    run.add_grad(prefix + "beta", np.sum(grad, axis=reduce_axes))
+    g = grad * m.params["gamma"]
+    n = m.dim
+    return (
+        inv_std / n * (n * g - np.sum(g, axis=-1, keepdims=True)
+                       - x_hat * np.sum(g * x_hat, axis=-1, keepdims=True))
+    )
+
+
+@_fwd(L.Embedding)
+def _embedding_fwd(m: L.Embedding, run: VectorizedRun, prefix: str, tokens):
+    tokens = np.asarray(tokens)
+    if tokens.min() < 0 or tokens.max() >= m.vocab_size:
+        raise ValueError("token id out of range")
+    run.put(prefix, tokens)
+    return m.params["table"][tokens]
+
+
+@_bwd(L.Embedding)
+def _embedding_bwd(m: L.Embedding, run: VectorizedRun, prefix: str, grad):
+    (tokens,) = run.get(prefix)
+    v = run.num_stacked
+    table_grads = np.zeros((v,) + m.params["table"].shape, dtype=grad.dtype)
+    for i in range(v):
+        np.add.at(table_grads[i], tokens[i], grad[i])
+    run.add_grad(prefix + "table", table_grads)
+    return np.zeros_like(grad)  # no gradient flows to integer inputs
+
+
+def _split_heads(m: L.MultiHeadSelfAttention, x: np.ndarray) -> np.ndarray:
+    v, b, t, _ = x.shape
+    return x.reshape(v, b, t, m.num_heads, m.head_dim).transpose(0, 1, 3, 2, 4)
+
+
+def _merge_heads(x: np.ndarray) -> np.ndarray:
+    v, b, h, t, d = x.shape
+    return x.transpose(0, 1, 3, 2, 4).reshape(v, b, t, h * d)
+
+
+@_fwd(L.MultiHeadSelfAttention)
+def _mhsa_fwd(m: L.MultiHeadSelfAttention, run: VectorizedRun, prefix: str, x):
+    p = m.params
+    q = _split_heads(m, x @ p["wq"] + p["bq"])
+    k = _split_heads(m, x @ p["wk"] + p["bk"])
+    v = _split_heads(m, x @ p["wv"] + p["bv"])
+    scale = 1.0 / np.sqrt(m.head_dim)
+    scores = (q @ k.transpose(0, 1, 2, 4, 3)) * scale
+    if m.causal:
+        t = scores.shape[-1]
+        mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+        scores = np.where(mask, -1e30, scores)
+    attn = softmax(scores, axis=-1)
+    ctx = attn @ v
+    merged = _merge_heads(ctx)
+    out = merged @ p["wo"] + p["bo"]
+    run.put(prefix, x, q, k, v, attn, merged, scale)
+    return out
+
+
+@_bwd(L.MultiHeadSelfAttention)
+def _mhsa_bwd(m: L.MultiHeadSelfAttention, run: VectorizedRun, prefix: str, grad):
+    x, q, k, v, attn, merged, scale = run.get(prefix)
+    p = m.params
+    nv, b, t, d = x.shape
+    g2 = grad.reshape(nv, -1, d)
+    run.add_grad(prefix + "wo", merged.reshape(nv, -1, d).transpose(0, 2, 1) @ g2)
+    run.add_grad(prefix + "bo", g2.sum(axis=1))
+    d_merged = grad @ p["wo"].T
+    d_ctx = _split_heads(m, d_merged)
+    d_attn = d_ctx @ v.transpose(0, 1, 2, 4, 3)
+    d_v = attn.transpose(0, 1, 2, 4, 3) @ d_ctx
+    d_scores = softmax_backward(attn, d_attn) * scale
+    d_q = d_scores @ k
+    d_k = d_scores.transpose(0, 1, 2, 4, 3) @ q
+    dx = np.zeros_like(x)
+    x2 = x.reshape(nv, -1, d)
+    for name, dproj in (("wq", d_q), ("wk", d_k), ("wv", d_v)):
+        dflat = _merge_heads(dproj).reshape(nv, -1, d)
+        run.add_grad(prefix + name, x2.transpose(0, 2, 1) @ dflat)
+        run.add_grad(prefix + "b" + name[1], dflat.sum(axis=1))
+        dx += dflat.reshape(nv, b, t, d) @ p[name].T
+    return dx
+
+
+@_fwd(L.Residual)
+def _residual_fwd(m: L.Residual, run: VectorizedRun, prefix: str, x):
+    return x + run.forward(m.body, x, prefix + "body.")
+
+
+@_bwd(L.Residual)
+def _residual_bwd(m: L.Residual, run: VectorizedRun, prefix: str, grad):
+    return grad + run.backward(m.body, grad, prefix + "body.")
+
+
+@_fwd(L.Sequential)
+def _sequential_fwd(m: L.Sequential, run: VectorizedRun, prefix: str, x):
+    for name, child in m.children():
+        x = run.forward(child, x, f"{prefix}{name}.")
+    return x
+
+
+@_bwd(L.Sequential)
+def _sequential_bwd(m: L.Sequential, run: VectorizedRun, prefix: str, grad):
+    for name, child in reversed(list(m.children())):
+        grad = run.backward(child, grad, f"{prefix}{name}.")
+    return grad
+
+
+@_fwd(L.TransformerBlock)
+def _block_fwd(m: L.TransformerBlock, run: VectorizedRun, prefix: str, x):
+    h = run.forward(
+        m.drop1,
+        run.forward(m.attn, run.forward(m.ln1, x, prefix + "ln1."), prefix + "attn."),
+        prefix + "drop1.",
+    )
+    x = x + h
+    h2 = run.forward(
+        m.drop2,
+        run.forward(m.ffn, run.forward(m.ln2, x, prefix + "ln2."), prefix + "ffn."),
+        prefix + "drop2.",
+    )
+    return x + h2
+
+
+@_bwd(L.TransformerBlock)
+def _block_bwd(m: L.TransformerBlock, run: VectorizedRun, prefix: str, grad):
+    g2 = run.backward(
+        m.ln2,
+        run.backward(m.ffn, run.backward(m.drop2, grad, prefix + "drop2."), prefix + "ffn."),
+        prefix + "ln2.",
+    )
+    grad = grad + g2
+    g1 = run.backward(
+        m.ln1,
+        run.backward(m.attn, run.backward(m.drop1, grad, prefix + "drop1."), prefix + "attn."),
+        prefix + "ln1.",
+    )
+    return grad + g1
+
+
+@_fwd(M.TinyBert)
+def _tinybert_fwd(m: M.TinyBert, run: VectorizedRun, prefix: str, tokens):
+    tokens = np.asarray(tokens)
+    v, b, t = tokens.shape
+    if t != m.seq_len:
+        raise ValueError(f"expected sequence length {m.seq_len}, got {t}")
+    positions = np.broadcast_to(np.arange(t), (v, b, t))
+    x = (run.forward(m.tok, tokens, prefix + "tok.")
+         + run.forward(m.pos, positions, prefix + "pos."))
+    for i, block in enumerate(m.blocks):
+        x = run.forward(block, x, f"{prefix}block{i}.")
+    run.put(prefix, tokens.shape)
+    pooled = x.mean(axis=2)
+    return run.forward(m.head, run.forward(m.pooler, pooled, prefix + "pooler."),
+                       prefix + "head.")
+
+
+@_bwd(M.TinyBert)
+def _tinybert_bwd(m: M.TinyBert, run: VectorizedRun, prefix: str, grad):
+    (tokens_shape,) = run.get(prefix)
+    v, b, t = tokens_shape
+    g = run.backward(m.pooler, run.backward(m.head, grad, prefix + "head."),
+                     prefix + "pooler.")
+    g = np.broadcast_to(g[:, :, None, :], (v, b, t, m.dim)) / t
+    g = np.ascontiguousarray(g)
+    for i, block in reversed(list(enumerate(m.blocks))):
+        g = run.backward(block, g, f"{prefix}block{i}.")
+    run.backward(m.pos, g, prefix + "pos.")
+    return run.backward(m.tok, g, prefix + "tok.")
+
+
+# -- inference-only kernels (batch-coupled or conv layers) -------------------
+
+
+@_fwd(L.BatchNorm)
+def _batchnorm_fwd(m: L.BatchNorm, run: VectorizedRun, prefix: str, x):
+    if run.training:
+        # Training-mode BatchNorm reduces over its wave's batch; fusing waves
+        # would change those statistics (semantics, not just scheduling).
+        raise UnsupportedModule("BatchNorm cannot be fused in training mode")
+    mean = m.buffers["running_mean"]
+    var = m.buffers["running_var"]
+    inv_std = 1.0 / np.sqrt(var + m.eps)
+    return m.params["gamma"] * ((x - mean) * inv_std) + m.params["beta"]
+
+
+@_fwd(L.Conv2D)
+def _conv2d_fwd(m: L.Conv2D, run: VectorizedRun, prefix: str, x):
+    k = m.kernel_size
+    v, n, h, w, c = x.shape
+    if m.pad:
+        x = np.pad(x, ((0, 0), (0, 0), (m.pad, m.pad), (m.pad, m.pad), (0, 0)))
+    oh = (x.shape[2] - k) // m.stride + 1
+    ow = (x.shape[3] - k) // m.stride + 1
+    shape = (v, n, oh, ow, k, k, c)
+    strides = (x.strides[0], x.strides[1], x.strides[2] * m.stride,
+               x.strides[3] * m.stride, x.strides[2], x.strides[3], x.strides[4])
+    cols = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = cols.reshape(v, n * oh * ow, k * k * c)
+    w2 = m.params["w"].reshape(-1, m.out_channels)
+    out = cols @ w2 + m.params["b"]
+    return out.reshape(v, n, oh, ow, m.out_channels)
+
+
+@_fwd(L.MaxPool2D)
+def _maxpool_fwd(m: L.MaxPool2D, run: VectorizedRun, prefix: str, x):
+    p = m.pool
+    v, n, h, w, c = x.shape
+    if h % p or w % p:
+        raise ValueError(f"input spatial dims {(h, w)} not divisible by pool {p}")
+    xr = x.reshape(v, n, h // p, p, w // p, p, c)
+    return xr.max(axis=(3, 5))
+
+
+@_fwd(L.GlobalAvgPool2D)
+def _gap_fwd(m: L.GlobalAvgPool2D, run: VectorizedRun, prefix: str, x):
+    return x.mean(axis=(2, 3))
+
+
+@_fwd(M.SmallCNN)
+def _smallcnn_fwd(m: M.SmallCNN, run: VectorizedRun, prefix: str, x):
+    return run.forward(m.body, x, prefix + "body.")
+
+
+# ---------------------------------------------------------------------------
+# Loss kernels: per-virtual-node losses and loss gradients over the stack.
+# ---------------------------------------------------------------------------
+
+_LOSS: Dict[Type[Loss], Callable] = {}
+
+
+def _loss(*types: Type[Loss]):
+    def deco(fn):
+        for t in types:
+            _LOSS[t] = fn
+        return fn
+    return deco
+
+
+def vectorized_loss(loss_fn: Loss, outputs: np.ndarray, targets: np.ndarray,
+                    ) -> Tuple[List[float], np.ndarray]:
+    """Per-slice ``(losses, loss_gradients)`` for a stacked output tensor.
+
+    Each slice's loss and gradient is bit-identical to calling
+    ``loss_fn.forward``/``backward`` on that slice alone.
+    """
+    fn = _LOSS.get(type(loss_fn))
+    if fn is None:
+        raise UnsupportedModule(
+            f"no vectorized loss kernel for {type(loss_fn).__name__}")
+    return fn(loss_fn, outputs, targets)
+
+
+@_loss(SoftmaxCrossEntropy)
+def _softmax_xent(loss_fn: SoftmaxCrossEntropy, logits, targets):
+    if logits.ndim != 3:
+        raise ValueError(f"expected (stack, batch, classes) logits, got {logits.shape}")
+    v, n, k = logits.shape
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.shape != (v, n):
+        raise ValueError(f"targets shape {targets.shape} != {(v, n)}")
+    probs = softmax(logits, axis=-1)
+    eps = loss_fn.label_smoothing
+    onehot = np.zeros_like(probs)
+    onehot[np.arange(v)[:, None], np.arange(n)[None, :], targets] = 1.0
+    soft = onehot * (1 - eps) + eps / k
+    logp = np.log(np.clip(probs, 1e-12, None))
+    sums = (soft * logp).reshape(v, -1).sum(axis=1)
+    losses = [float(-sums[i] / n) for i in range(v)]
+    return losses, (probs - soft) / n
+
+
+@_loss(MSELoss)
+def _mse(loss_fn: MSELoss, outputs, targets):
+    targets = np.asarray(targets, dtype=outputs.dtype)
+    if targets.shape != outputs.shape:
+        raise ValueError(f"shape mismatch: {outputs.shape} vs {targets.shape}")
+    v = outputs.shape[0]
+    sq = (outputs - targets) ** 2
+    means = sq.reshape(v, -1).mean(axis=1)
+    per_slice_size = outputs[0].size
+    return ([float(means[i]) for i in range(v)],
+            2.0 * (outputs - targets) / per_slice_size)

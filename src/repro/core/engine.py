@@ -1,0 +1,133 @@
+"""The shared execution engine: one substrate under training, inference,
+and the elastic simulator.
+
+Historically each driver re-implemented the physical half of virtual-node
+processing by hand: the training executor, the inference engine, and the
+elastic job model all built plans, looked up devices, and accounted
+bottleneck latency with their own loops.  :class:`VirtualNodeEngine` owns
+that physical half exactly once:
+
+* the validated :class:`~repro.core.plan.ExecutionPlan` and perf model for
+  the current mapping (rebuilt atomically on :meth:`remap`);
+* a precomputed ``device_id -> DeviceSpec`` table, so per-request latency
+  accounting never scans the device list;
+* simulated-time queries (:meth:`step_time`, :meth:`inference_latency`);
+* the execution backend (:mod:`repro.core.backends`) that decides *how*
+  waves run on the host.
+
+The engine layer is also the home of the primitive wave-schedule costs
+(:func:`sequential_sweep_time`, :func:`pipelined_makespan`) that the
+model-parallel pipeline configurations of :mod:`repro.core.pipeline` are
+priced with, so schedule arithmetic has one owner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.backends import ExecutionBackend, get_backend
+from repro.core.mapping import Mapping
+from repro.core.plan import ExecutionPlan
+from repro.core.virtual_node import VirtualNodeSet
+from repro.hardware.device import DeviceSpec, get_spec
+from repro.hardware.perfmodel import PerfModel
+
+from repro.framework.models import Workload
+
+__all__ = [
+    "VirtualNodeEngine",
+    "sequential_sweep_time",
+    "pipelined_makespan",
+]
+
+
+class VirtualNodeEngine:
+    """Physical execution substrate for one job under one mapping."""
+
+    def __init__(self, workload: Workload, mapping: Mapping,
+                 backend: object = "reference",
+                 perf: Optional[PerfModel] = None) -> None:
+        self.workload = workload
+        self.backend: ExecutionBackend = get_backend(backend)
+        self._install(mapping, perf)
+
+    def _install(self, mapping: Mapping, perf: Optional[PerfModel] = None) -> None:
+        """(Re)build the plan, perf model, and device table for a mapping."""
+        self.mapping = mapping
+        self.perf = perf or PerfModel(mapping.cluster.interconnect)
+        self.plan = ExecutionPlan(self.workload, mapping, self.perf)
+        self._specs: Dict[int, DeviceSpec] = {
+            dp.device_id: get_spec(dp.spec_name) for dp in self.plan.device_plans
+        }
+        # The plan is immutable per mapping, so its predicted step time is a
+        # constant — compute it once instead of once per training step.
+        self._step_time = self.plan.step_time()
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def vn_set(self) -> VirtualNodeSet:
+        return self.mapping.vn_set
+
+    def step_time(self) -> float:
+        """Simulated synchronous training step time under the current plan."""
+        return self._step_time
+
+    def inference_latency(self, shard_sizes: Sequence[int]) -> Tuple[float, int]:
+        """Bottleneck-device latency for one sharded inference batch.
+
+        ``shard_sizes`` are per-virtual-node example counts in canonical
+        order.  Returns ``(latency, waves_on_bottleneck)``: each device runs
+        its non-empty waves sequentially and the batch completes when the
+        slowest device does.
+        """
+        latency = 0.0
+        waves = 0
+        for dp in self.plan.device_plans:
+            spec = self._specs[dp.device_id]
+            t = sum(self.perf.wave_time(self.workload, spec, shard_sizes[i])
+                    for i in dp.vn_indices if shard_sizes[i] > 0)
+            if t > latency:
+                latency = t
+                waves = sum(1 for i in dp.vn_indices if shard_sizes[i] > 0)
+        return latency, waves
+
+    # -- elasticity ----------------------------------------------------------
+
+    def remap(self, new_mapping: Mapping) -> None:
+        """Install a new mapping; the virtual node set must be preserved."""
+        if new_mapping.vn_set != self.mapping.vn_set:
+            raise ValueError(
+                "remap must preserve the virtual node set "
+                f"({self.mapping.vn_set!r} -> {new_mapping.vn_set!r})"
+            )
+        self._install(new_mapping)
+
+
+# ---------------------------------------------------------------------------
+# Wave-schedule primitives consumed by the model-parallel pipeline layer.
+# ---------------------------------------------------------------------------
+
+
+def sequential_sweep_time(stage_times: Sequence[Tuple[float, float]]) -> float:
+    """One full forward-then-backward sweep over all pipeline stages.
+
+    This is the cost of one wave through a model-parallel pipeline — the
+    unit both the data-parallel and unrolled virtual-node configurations of
+    Figure 19 are priced in.
+    """
+    return sum(f for f, _ in stage_times) + sum(b for _, b in stage_times)
+
+
+def pipelined_makespan(virtual_nodes: int,
+                       stage_times: Sequence[Tuple[float, float]]) -> float:
+    """GPipe-style makespan of ``virtual_nodes`` waves over the stages.
+
+    The classic ``(V + P - 1)`` slot schedule on the bottleneck stage, run
+    once for forwards and once for backwards.
+    """
+    stages = len(stage_times)
+    slot_f = max(f for f, _ in stage_times)
+    slot_b = max(b for _, b in stage_times)
+    slots = virtual_nodes + stages - 1
+    return slots * (slot_f + slot_b)

@@ -19,28 +19,37 @@ only the reduction order is canonicalized.
 Stateful kernels (BatchNorm moving statistics) are loaded from and saved to
 per-virtual-node state around each wave, so they follow virtual nodes across
 resizes exactly as §4.1 requires.
+
+Execution strategy
+------------------
+*How* the waves run on the host — the serial oracle loop or the vectorized
+fused path — is delegated to an :class:`~repro.core.backends.ExecutionBackend`
+through the shared :class:`~repro.core.engine.VirtualNodeEngine`.  Backends
+may only change host wall-clock cost; the simulated device schedule and the
+numeric results are backend-independent (bit-exactly so for stateless
+workloads).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.backends import TrainStep
+from repro.core.engine import VirtualNodeEngine
 from repro.core.gradient_buffer import GradientBuffer
 from repro.core.mapping import Mapping
 from repro.core.plan import ExecutionPlan
 from repro.core.sharding import shard_batch
 from repro.core.state import VirtualNodeState, migrate_states
-from repro.core.sync import weighted_average
 from repro.core.virtual_node import VirtualNodeSet
 from repro.framework.layers import Module
 from repro.framework.losses import Loss
 from repro.framework.metrics import accuracy
 from repro.framework.optimizers import Optimizer
 from repro.hardware.perfmodel import PerfModel
-from repro.utils.seeding import augment_rng, vn_rng
 
 from repro.framework.models import Workload
 
@@ -73,34 +82,72 @@ class VirtualFlowExecutor:
         boundary via :meth:`remap` — that is resource elasticity.
     seed:
         Root seed for all per-virtual-node randomness.
+    backend:
+        Execution-backend name or instance (``"reference"`` or ``"fused"``);
+        selects the host execution strategy, never the numeric results.
     """
 
     def __init__(self, workload: Workload, model: Module, loss_fn: Loss,
                  optimizer: Optimizer, mapping: Mapping, seed: int = 0,
-                 perf: Optional[PerfModel] = None, augment=None) -> None:
+                 perf: Optional[PerfModel] = None, augment=None,
+                 backend: object = "reference") -> None:
         self.workload = workload
         self.model = model
         self.loss_fn = loss_fn
         self.optimizer = optimizer
-        self.mapping = mapping
         self.seed = seed
         self.augment = augment  # optional repro.data.augment.Transform
-        self.perf = perf or PerfModel(mapping.cluster.interconnect)
-        self.plan = ExecutionPlan(workload, mapping, self.perf)
+        self.engine = VirtualNodeEngine(workload, mapping, backend=backend, perf=perf)
         self.sim_time = 0.0
         self.steps_run = 0
         self.examples_seen = 0
         self.resize_count = 0
         # Every virtual node starts from the model's initial stateful buffers.
         init_state = model.state_dict()
-        self.vn_states: List[VirtualNodeState] = [
+        self._vn_states: List[VirtualNodeState] = [
             VirtualNodeState(vn_index=i, buffers={k: v.copy() for k, v in init_state.items()})
             for i in range(mapping.vn_set.num_nodes)
         ]
+        self._eval_state: Optional[Dict[str, np.ndarray]] = None
+
+    # -- engine-delegated views ---------------------------------------------
 
     @property
     def vn_set(self) -> VirtualNodeSet:
-        return self.mapping.vn_set
+        return self.engine.vn_set
+
+    @property
+    def mapping(self) -> Mapping:
+        return self.engine.mapping
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        return self.engine.plan
+
+    @property
+    def perf(self) -> PerfModel:
+        return self.engine.perf
+
+    @property
+    def backend(self):
+        return self.engine.backend
+
+    @property
+    def vn_states(self) -> List[VirtualNodeState]:
+        """Per-virtual-node stateful kernels (the live list).
+
+        The merged evaluation view of these states is cached; the cache is
+        invalidated by :meth:`run_step`, :meth:`remap`, and reassignment of
+        this property (the checkpoint-restore path).  Callers that mutate
+        states *in place* must reassign the property (``ex.vn_states =
+        ex.vn_states``) so stale evaluation results cannot be served.
+        """
+        return self._vn_states
+
+    @vn_states.setter
+    def vn_states(self, states: List[VirtualNodeState]) -> None:
+        self._vn_states = states
+        self._eval_state = None
 
     # -- one step (Figure 5) ---------------------------------------------------
 
@@ -112,29 +159,23 @@ class VirtualFlowExecutor:
                 f"node set (expects {self.vn_set.global_batch_size})"
             )
         shards = shard_batch(self.vn_set, x, y)
-        contributions: List[Tuple[Dict[str, np.ndarray], float]] = []
-        weighted_loss = 0.0
-        # Physically, shards execute as per-device waves in parallel; since
-        # every wave reads the same (frozen) parameters, iterating in
-        # canonical virtual-node order computes identical values.
-        for node, (x_vn, y_vn) in zip(self.vn_set, shards):
-            state = self.vn_states[node.index]
-            self.model.load_state_dict(state.buffers)
-            if self.augment is not None:
-                x_vn = self.augment.apply(
-                    x_vn, augment_rng(self.seed, epoch, step, node.index))
-            rng = vn_rng(self.seed, epoch, step, node.index)
-            logits = self.model.forward(x_vn, training=True, rng=rng)
-            loss_value = self.loss_fn.forward(logits, y_vn)
-            self.model.zero_grad()
-            self.model.backward(self.loss_fn.backward())
-            grads = {k: v.copy() for k, v in self.model.gradients().items()}
-            contributions.append((grads, float(node.batch_size)))
-            weighted_loss += loss_value * node.batch_size
-            # Stateful kernels updated during the wave belong to this node.
-            state.buffers = self.model.state_dict()
-        # Steps 3-4: aggregate + synchronize (canonical order; see module doc).
-        avg_grads = weighted_average(contributions)
+        # Waves may update stateful kernels before a later wave fails, so the
+        # cached evaluation view is stale the moment execution starts.
+        self._eval_state = None
+        # Steps 1-4: per-wave execution + canonical-order aggregation, via
+        # the selected execution backend (see module doc).
+        out = self.engine.backend.train_step(TrainStep(
+            model=self.model,
+            loss_fn=self.loss_fn,
+            vn_set=self.vn_set,
+            vn_states=self._vn_states,
+            shards=shards,
+            seed=self.seed,
+            epoch=epoch,
+            step=step,
+            augment=self.augment,
+        ))
+        avg_grads = out.avg_grads
         # Step 5: every replica applies the same averaged gradients.
         self.optimizer.step(self.model.parameters(), avg_grads)
         # A diverged model can overflow float64 here; report inf, not a warning.
@@ -142,12 +183,12 @@ class VirtualFlowExecutor:
         with np.errstate(over="ignore", invalid="ignore"):
             for g in avg_grads.values():
                 sq += float(np.sum(g * g))
-        step_time = self.plan.step_time()
+        step_time = self.engine.step_time()
         self.sim_time += step_time
         self.steps_run += 1
         self.examples_seen += len(x)
         return StepResult(
-            loss=weighted_loss / len(x),
+            loss=out.weighted_loss / len(x),
             examples=len(x),
             sim_step_time=step_time,
             grad_norm=float(np.sqrt(sq)),
@@ -174,23 +215,27 @@ class VirtualFlowExecutor:
 
         Per-node moving statistics differ slightly (they are never
         synchronized); averaging in index order gives a mapping-independent
-        evaluation model.
+        evaluation model.  The merge is cached between steps — repeated
+        ``evaluate()`` calls (early-stopping loops) reuse it until a step,
+        remap, or checkpoint restore invalidates it.
         """
-        merged: Dict[str, np.ndarray] = {}
-        n = len(self.vn_states)
-        for key in self.vn_states[0].buffers:
-            acc = np.zeros_like(self.vn_states[0].buffers[key])
-            for state in self.vn_states:
-                acc += state.buffers[key]
-            merged[key] = acc / n
-        return merged
+        if self._eval_state is None:
+            merged: Dict[str, np.ndarray] = {}
+            n = len(self._vn_states)
+            for key in self._vn_states[0].buffers:
+                acc = np.zeros_like(self._vn_states[0].buffers[key])
+                for state in self._vn_states:
+                    acc += state.buffers[key]
+                merged[key] = acc / n
+            self._eval_state = merged
+        return self._eval_state
 
     def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> Tuple[float, float]:
         """Return (mean loss, accuracy) on a dataset, in inference mode."""
         if len(x) == 0:
             raise ValueError("cannot evaluate on an empty dataset")
         saved = self.model.state_dict()
-        if self.vn_states and self.vn_states[0].buffers:
+        if self._vn_states and self._vn_states[0].buffers:
             self.model.load_state_dict(self._merged_eval_state())
         total_loss = 0.0
         correct_weighted = 0.0
@@ -213,12 +258,11 @@ class VirtualFlowExecutor:
         guarantee.
         """
         migration = migrate_states(
-            self.vn_states, self.mapping, new_mapping,
+            self._vn_states, self.mapping, new_mapping,
             model_bytes=self.workload.footprint.param_bytes,
         )
-        self.mapping = new_mapping
-        self.perf = PerfModel(new_mapping.cluster.interconnect)
-        self.plan = ExecutionPlan(self.workload, new_mapping, self.perf)
+        self.engine.remap(new_mapping)
+        self._eval_state = None
         self.sim_time += migration
         self.resize_count += 1
         return migration

@@ -5,20 +5,25 @@ inference batch is split across virtual nodes exactly like a training batch,
 so a serving job can also shrink onto fewer accelerators (more waves, more
 latency) or spread out (fewer waves, less latency) without changing results.
 
-:class:`InferenceEngine` runs the numeric forward passes and accounts
-simulated latency per request batch.
+:class:`InferenceEngine` is a thin driver over the shared
+:class:`~repro.core.engine.VirtualNodeEngine`: sharding and the numeric
+forward passes go through the selected execution backend (the ``fused``
+backend batches equal-size shards into one vectorized pass), and per-request
+latency accounting uses the engine's validated plan — the same plan/latency
+logic training uses, not a private reimplementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
+from repro.core.engine import VirtualNodeEngine
 from repro.core.mapping import Mapping
 from repro.core.plan import ExecutionPlan
-from repro.core.sharding import shard_indices
+from repro.core.sharding import shard_sizes
 from repro.framework.layers import Module
 from repro.framework.models import Workload
 from repro.hardware.perfmodel import PerfModel
@@ -45,42 +50,45 @@ class InferenceEngine:
     """
 
     def __init__(self, workload: Workload, model: Module, mapping: Mapping,
-                 perf: Optional[PerfModel] = None) -> None:
+                 perf: Optional[PerfModel] = None,
+                 backend: object = "reference") -> None:
         self.workload = workload
         self.model = model
-        self.mapping = mapping
-        self.perf = perf or PerfModel(mapping.cluster.interconnect)
-        # Validate memory feasibility at construction, like training plans.
-        self.plan = ExecutionPlan(workload, mapping, self.perf)
+        # Plan validation at construction (the simulated analogue of OOM at
+        # graph build time) happens inside the shared engine.
+        self.engine = VirtualNodeEngine(workload, mapping, backend=backend, perf=perf)
         self.requests_served = 0
         self.sim_time = 0.0
+
+    # -- engine-delegated views ---------------------------------------------
+
+    @property
+    def mapping(self) -> Mapping:
+        return self.engine.mapping
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        return self.engine.plan
+
+    @property
+    def perf(self) -> PerfModel:
+        return self.engine.perf
+
+    @property
+    def backend(self):
+        return self.engine.backend
 
     def predict(self, x: np.ndarray) -> InferenceResult:
         """Run one inference batch, split across virtual nodes."""
         if len(x) == 0:
             raise ValueError("cannot run inference on an empty batch")
         vn_set = self.mapping.vn_set
-        bounds = shard_indices(vn_set, len(x))
-        outputs: List[np.ndarray] = []
-        for start, end in bounds:
-            if end > start:
-                outputs.append(self.model.forward(x[start:end], training=False))
-        logits = np.concatenate(outputs, axis=0)
+        logits = self.engine.backend.infer(self.model, vn_set, x)
 
         # Latency: bottleneck device's sequential forward waves (forward pass
         # ~1/3 of a full training wave in the analytic model's spirit; we use
         # the full wave time as a conservative envelope).
-        latency = 0.0
-        waves = 0
-        sizes = [end - start for start, end in bounds]
-        for device_id, node_ids in self.mapping.waves().items():
-            device = next(d for d in self.mapping.cluster.devices
-                          if d.device_id == device_id)
-            t = sum(self.perf.wave_time(self.workload, device.spec, sizes[i])
-                    for i in node_ids if sizes[i] > 0)
-            if t > latency:
-                latency = t
-                waves = sum(1 for i in node_ids if sizes[i] > 0)
+        latency, waves = self.engine.inference_latency(shard_sizes(vn_set, len(x)))
         self.requests_served += 1
         self.sim_time += latency
         return InferenceResult(logits=logits, sim_latency=latency, waves=waves)
@@ -90,6 +98,4 @@ class InferenceEngine:
         needed beyond parameters, which every replica already has)."""
         if mapping.vn_set != self.mapping.vn_set:
             raise ValueError("inference remap must preserve the virtual node set")
-        self.mapping = mapping
-        self.perf = PerfModel(mapping.cluster.interconnect)
-        self.plan = ExecutionPlan(self.workload, mapping, self.perf)
+        self.engine.remap(mapping)

@@ -8,14 +8,19 @@ stage GPU "unrolls" the data-parallel pipelines into sequential passes —
 ``P`` GPUs, roughly ``r`` times the step time.  Pipelining the virtual nodes
 GPipe-style recovers most of the time.
 
-This module provides the schedule arithmetic for the Figure 19 comparison;
-it operates on per-stage forward/backward times (seconds per microbatch).
+This module prices the Figure 19 configurations; the underlying wave-schedule
+arithmetic (sequential sweeps, GPipe slot makespans) is shared with the rest
+of the execution layer via :mod:`repro.core.engine`, so pipeline costs and
+data-parallel step costs come from one set of primitives.  Inputs are
+per-stage forward/backward times (seconds per microbatch).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
+
+from repro.core.engine import pipelined_makespan, sequential_sweep_time
 
 __all__ = [
     "PipelineConfig",
@@ -59,7 +64,7 @@ def data_parallel_pipeline(stage_times: Sequence[Tuple[float, float]],
     _check_stages(stage_times)
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
-    sweep = sum(f for f, _ in stage_times) + sum(b for _, b in stage_times)
+    sweep = sequential_sweep_time(stage_times)
     return PipelineConfig(
         name=f"data-parallel x{replicas}",
         num_gpus=len(stage_times) * replicas,
@@ -78,7 +83,7 @@ def virtual_node_pipeline(stage_times: Sequence[Tuple[float, float]],
     _check_stages(stage_times)
     if virtual_nodes < 1:
         raise ValueError("virtual_nodes must be >= 1")
-    sweep = sum(f for f, _ in stage_times) + sum(b for _, b in stage_times)
+    sweep = sequential_sweep_time(stage_times)
     return PipelineConfig(
         name=f"virtual-nodes x{virtual_nodes}",
         num_gpus=len(stage_times),
@@ -97,12 +102,8 @@ def pipelined_virtual_nodes(stage_times: Sequence[Tuple[float, float]],
     _check_stages(stage_times)
     if virtual_nodes < 1:
         raise ValueError("virtual_nodes must be >= 1")
-    stages = len(stage_times)
-    slot_f = max(f for f, _ in stage_times)
-    slot_b = max(b for _, b in stage_times)
-    slots = virtual_nodes + stages - 1
     return PipelineConfig(
         name=f"pipelined virtual-nodes x{virtual_nodes}",
-        num_gpus=stages,
-        step_time=slots * (slot_f + slot_b),
+        num_gpus=len(stage_times),
+        step_time=pipelined_makespan(virtual_nodes, stage_times),
     )

@@ -40,7 +40,9 @@ class TrainerConfig:
     workload's optimizer) are hardware-free; the hardware fields
     (``device_type``, ``num_devices``) only affect simulated time and memory
     feasibility.  ``vn_sizes`` overrides even splitting for heterogeneous
-    configurations.
+    configurations.  ``backend`` picks the host execution strategy
+    (``"reference"`` or ``"fused"``) — it changes wall-clock cost only,
+    never the training trajectory.
     """
 
     workload: str
@@ -52,8 +54,12 @@ class TrainerConfig:
     dataset_size: int = 4096
     vn_sizes: Optional[Sequence[int]] = None
     learning_rate: Optional[float] = None
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
+        from repro.core.backends import get_backend
+
+        get_backend(self.backend)  # raises on unknown names, same resolver
         if self.global_batch_size < 1:
             raise ValueError("global_batch_size must be >= 1")
         if self.num_virtual_nodes < 1:
@@ -107,6 +113,7 @@ class VirtualFlowTrainer:
             mapping=mapping,
             seed=config.seed,
             augment=augment,
+            backend=config.backend,
         )
         self.history: List[EpochResult] = []
         self._epochs_done = 0

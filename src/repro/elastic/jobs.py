@@ -4,7 +4,14 @@ A job is a fixed-semantics training run: workload, global batch size, and a
 total virtual node count that never changes.  What *can* change — under an
 elastic scheduler — is how many GPUs the virtual nodes are spread across.
 :meth:`JobSpec.step_time` gives the simulated synchronous step time at any
-allocation; the bottleneck device hosts ``ceil(V / gpus)`` waves.
+allocation (priced by the shared :class:`~repro.hardware.perfmodel.PerfModel`
+step breakdown, the same substrate the execution engine uses); the
+bottleneck device hosts ``ceil(V / gpus)`` waves.
+
+Each job also records the execution ``backend`` it runs under; simulated
+step times are backend-independent (backends change host wall-clock only),
+but :meth:`JobSpec.to_trainer_config` carries the choice through to the
+numeric trainer when a job is materialized.
 """
 
 from __future__ import annotations
@@ -41,8 +48,12 @@ class JobSpec:
     arrival_time: float = 0.0
     device_type: str = "V100"
     min_gpus: int = 1
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
+        from repro.core.backends import get_backend
+
+        get_backend(self.backend)  # raises on unknown names, same resolver
         if self.demand_gpus < 1:
             raise ValueError("demand_gpus must be >= 1")
         if self.min_gpus < 1 or self.min_gpus > self.demand_gpus:
@@ -64,7 +75,12 @@ class JobSpec:
         return self.global_batch_size // self.total_virtual_nodes
 
     def step_time(self, gpus: int, perf: Optional[PerfModel] = None) -> float:
-        """Synchronous step time at an allocation of ``gpus`` devices."""
+        """Synchronous step time at an allocation of ``gpus`` devices.
+
+        Priced with the shared :meth:`PerfModel.step_breakdown` — the same
+        wave/update/all-reduce accounting the execution engine's plans use —
+        with every device carrying the bottleneck wave count.
+        """
         if gpus < 1:
             raise ValueError(f"gpus must be >= 1, got {gpus}")
         if gpus > self.total_virtual_nodes:
@@ -74,10 +90,7 @@ class JobSpec:
         spec: DeviceSpec = get_spec(self.device_type)
         bottleneck_waves = math.ceil(self.total_virtual_nodes / gpus)
         waves = [self.wave_batch] * bottleneck_waves
-        compute = sum(perf.wave_time(workload, spec, b) for b in waves)
-        update = perf.update_time(workload, spec)
-        comm = perf.interconnect.allreduce_time(workload.footprint.param_bytes, gpus)
-        return compute + update + comm
+        return perf.step_breakdown(workload, {spec: [waves] * gpus}).total
 
     def throughput_steps(self, gpus: int, perf: Optional[PerfModel] = None) -> float:
         """Training progress rate, steps per simulated second."""
@@ -86,6 +99,27 @@ class JobSpec:
     def serial_runtime(self, gpus: int) -> float:
         """Runtime at a fixed allocation (used for trace sizing)."""
         return self.total_steps * self.step_time(gpus)
+
+    def to_trainer_config(self, num_devices: Optional[int] = None,
+                          dataset_size: int = 4096):
+        """Materialize this job as a numeric :class:`TrainerConfig`.
+
+        The job's semantics (batch, virtual nodes, workload) and its
+        execution backend carry over; ``num_devices`` defaults to the job's
+        full demand.  This is the end-to-end path from a scheduling trace to
+        a real training run.
+        """
+        from repro.core.trainer import TrainerConfig
+
+        return TrainerConfig(
+            workload=self.workload,
+            global_batch_size=self.global_batch_size,
+            num_virtual_nodes=self.total_virtual_nodes,
+            device_type=self.device_type,
+            num_devices=self.demand_gpus if num_devices is None else num_devices,
+            dataset_size=dataset_size,
+            backend=self.backend,
+        )
 
 
 @dataclass

@@ -1,0 +1,271 @@
+"""Execution backends: the fused path must match the reference oracle.
+
+The backend seam's contract is that backends change *how* waves execute on
+the host, never *what* they compute: for stateless workloads the fused
+backend is bit-identical to the canonical serial loop; for BatchNorm
+workloads it degrades to the same serial arithmetic (so it is exact there
+too, with the vectorized path reserved for inference).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExecutionBackend,
+    FusedBackend,
+    InferenceEngine,
+    Mapping,
+    ReferenceBackend,
+    TrainerConfig,
+    VirtualFlowTrainer,
+    VirtualNodeSet,
+    backend_names,
+    get_backend,
+)
+from repro.core.backends import TrainStep
+from repro.core.backends.vectorized import supports_inference, supports_training
+from repro.core.sharding import shard_batch
+from repro.data import make_dataset
+from repro.elastic import JobSpec
+from repro.framework import SoftmaxCrossEntropy, get_workload
+from repro.hardware import Cluster
+
+
+STATELESS_WORKLOADS = ("mlp_synthetic", "bert_base_glue", "transformer_wmt")
+
+
+def _trainer(workload="mlp_synthetic", batch=32, vns=8, devices=1, seed=0,
+             vn_sizes=None, backend="reference", dataset_size=128, **kw):
+    return VirtualFlowTrainer(TrainerConfig(
+        workload=workload, global_batch_size=batch, num_virtual_nodes=vns,
+        num_devices=devices, seed=seed, dataset_size=dataset_size,
+        vn_sizes=vn_sizes, backend=backend, **kw))
+
+
+def _assert_bit_identical(a: VirtualFlowTrainer, b: VirtualFlowTrainer) -> None:
+    pa, pb = a.executor.model.parameters(), b.executor.model.parameters()
+    assert set(pa) == set(pb)
+    for key in pa:
+        np.testing.assert_array_equal(pa[key], pb[key], err_msg=key)
+    for ra, rb in zip(a.history, b.history):
+        assert ra.train_loss == rb.train_loss  # bit-equal, not approx
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert "reference" in backend_names()
+        assert "fused" in backend_names()
+
+    def test_get_backend_by_name_and_instance(self):
+        ref = get_backend("reference")
+        assert isinstance(ref, ReferenceBackend)
+        assert get_backend("reference") is ref  # shared instance
+        fused = FusedBackend()
+        assert get_backend(fused) is fused
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            get_backend("warp-drive")
+
+    def test_trainer_config_validates_backend(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            TrainerConfig(workload="mlp_synthetic", global_batch_size=8,
+                          num_virtual_nodes=2, backend="nope")
+
+    def test_backend_threads_through_trainer(self):
+        t = _trainer(backend="fused")
+        assert isinstance(t.executor.backend, ExecutionBackend)
+        assert t.executor.backend.name == "fused"
+
+
+class TestTrainingEquivalence:
+    @pytest.mark.parametrize("workload", STATELESS_WORKLOADS)
+    @pytest.mark.parametrize("devices", [1, 3])
+    def test_bit_identical_stateless(self, workload, devices):
+        a = _trainer(workload=workload, batch=16, vns=8, devices=devices,
+                     dataset_size=64, backend="reference")
+        b = _trainer(workload=workload, batch=16, vns=8, devices=devices,
+                     dataset_size=64, backend="fused")
+        a.train(epochs=2)
+        b.train(epochs=2)
+        _assert_bit_identical(a, b)
+
+    def test_bit_identical_uneven_split(self):
+        sizes = [16, 8, 4, 4]
+        a = _trainer(batch=32, vns=4, vn_sizes=sizes, devices=2, backend="reference")
+        b = _trainer(batch=32, vns=4, vn_sizes=sizes, devices=2, backend="fused")
+        a.train(epochs=2)
+        b.train(epochs=2)
+        _assert_bit_identical(a, b)
+
+    def test_bit_identical_heterogeneous_mapping(self):
+        vn_set = VirtualNodeSet.even(32, 8)
+        cluster = Cluster.homogeneous("V100", 3)
+        skewed = Mapping.by_counts(vn_set, cluster, {0: 5, 1: 2, 2: 1})
+        kwargs = dict(workload="mlp_synthetic", global_batch_size=32,
+                      num_virtual_nodes=8, num_devices=3, dataset_size=128)
+        a = VirtualFlowTrainer(TrainerConfig(backend="reference", **kwargs),
+                               cluster=cluster, mapping=skewed)
+        b = VirtualFlowTrainer(TrainerConfig(backend="fused", **kwargs),
+                               cluster=cluster, mapping=skewed)
+        a.train(epochs=1)
+        b.train(epochs=1)
+        _assert_bit_identical(a, b)
+
+    def test_bit_identical_through_resize(self):
+        a = _trainer(workload="bert_base_glue", batch=16, vns=8, devices=4,
+                     dataset_size=64, backend="reference")
+        b = _trainer(workload="bert_base_glue", batch=16, vns=8, devices=4,
+                     dataset_size=64, backend="fused")
+        for trainer in (a, b):
+            trainer.train_epoch()
+            trainer.resize(2)
+            trainer.train_epoch()
+        _assert_bit_identical(a, b)
+
+    def test_batchnorm_workload_matches_exactly(self):
+        """BatchNorm models fall back to serial waves -> still exact."""
+        a = _trainer(workload="resnet56_cifar10", batch=32, vns=4, devices=2,
+                     dataset_size=64, backend="reference")
+        b = _trainer(workload="resnet56_cifar10", batch=32, vns=4, devices=2,
+                     dataset_size=64, backend="fused")
+        a.train(epochs=2)
+        b.train(epochs=2)
+        _assert_bit_identical(a, b)
+        for sa, sb in zip(a.executor.vn_states, b.executor.vn_states):
+            assert sa.equals(sb)  # per-node stateful kernels match too
+
+    def test_fused_mapping_invariance(self):
+        """The paper's core claim holds within the fused backend as well."""
+        a = _trainer(devices=1, backend="fused")
+        b = _trainer(devices=4, backend="fused")
+        a.train(epochs=2)
+        b.train(epochs=2)
+        _assert_bit_identical(a, b)
+
+
+class TestFusability:
+    def _step(self, workload_name, vns=4, batch=32):
+        wl = get_workload(workload_name)
+        model = wl.build_model(0)
+        vn_set = VirtualNodeSet.even(batch, vns)
+        ds = make_dataset(wl.dataset, n=2 * batch, seed=0)
+        from repro.core import VirtualNodeState
+
+        return TrainStep(
+            model=model, loss_fn=SoftmaxCrossEntropy(), vn_set=vn_set,
+            vn_states=[VirtualNodeState(i, {k: v.copy() for k, v in
+                                            model.state_dict().items()})
+                       for i in range(vns)],
+            shards=shard_batch(vn_set, ds.x_train[:batch], ds.y_train[:batch]),
+            seed=0, epoch=0, step=0)
+
+    def test_stateless_models_fuse(self):
+        fused = FusedBackend()
+        for name in STATELESS_WORKLOADS:
+            assert fused.can_fuse(self._step(name)), name
+
+    def test_batchnorm_model_does_not_fuse(self):
+        fused = FusedBackend()
+        assert not fused.can_fuse(self._step("resnet56_cifar10"))
+
+    def test_kernel_coverage(self):
+        for name in STATELESS_WORKLOADS:
+            wl = get_workload(name)
+            assert supports_training(wl.build_model(0), SoftmaxCrossEntropy())
+        # CNNs vectorize inference (eval-mode BatchNorm) but not training.
+        cnn = get_workload("resnet56_cifar10").build_model(0)
+        assert supports_inference(cnn)
+        assert not supports_training(cnn, SoftmaxCrossEntropy())
+
+
+class TestInferenceEquivalence:
+    @pytest.mark.parametrize("workload", STATELESS_WORKLOADS + ("resnet56_cifar10",))
+    @pytest.mark.parametrize("devices", [1, 4])
+    def test_predictions_bit_identical(self, workload, devices):
+        wl = get_workload(workload)
+        vn_set = VirtualNodeSet.even(32, 8)
+        mapping = Mapping.even(vn_set, Cluster.homogeneous("V100", devices))
+        ds = make_dataset(wl.dataset, n=64, seed=0)
+        ref = InferenceEngine(wl, wl.build_model(0), mapping, backend="reference")
+        fused = InferenceEngine(wl, wl.build_model(0), mapping, backend="fused")
+        a = ref.predict(ds.x_train[:32])
+        b = fused.predict(ds.x_train[:32])
+        np.testing.assert_array_equal(a.logits, b.logits)
+        assert a.sim_latency == b.sim_latency  # latency model is engine-owned
+        assert a.waves == b.waves
+
+    def test_partial_batch_with_empty_shards(self):
+        """10 examples over 8 virtual nodes -> uneven shards, some empty."""
+        wl = get_workload("mlp_synthetic")
+        vn_set = VirtualNodeSet.even(32, 8)
+        mapping = Mapping.even(vn_set, Cluster.homogeneous("V100", 2))
+        ds = make_dataset(wl.dataset, n=64, seed=0)
+        ref = InferenceEngine(wl, wl.build_model(0), mapping, backend="reference")
+        fused = InferenceEngine(wl, wl.build_model(0), mapping, backend="fused")
+        for n in (1, 7, 10, 32):
+            a = ref.predict(ds.x_train[:n])
+            b = fused.predict(ds.x_train[:n])
+            np.testing.assert_array_equal(a.logits, b.logits)
+
+
+class TestEvalStateCache:
+    def test_merged_eval_state_cached_and_invalidated(self, small_dataset):
+        t = _trainer(workload="resnet56_cifar10", batch=32, vns=4, dataset_size=64)
+        ex = t.executor
+        ds = t.dataset
+        assert ex._eval_state is None
+        first = ex.evaluate(ds.x_val, ds.y_val)
+        cached = ex._eval_state
+        assert cached is not None
+        assert ex.evaluate(ds.x_val, ds.y_val) == first
+        assert ex._eval_state is cached  # reused, not recomputed
+        ex.run_step(ds.x_train[:32], ds.y_train[:32], epoch=0, step=0)
+        assert ex._eval_state is None  # a step moves the stateful kernels
+        second = ex.evaluate(ds.x_val, ds.y_val)
+        assert ex._eval_state is not cached
+        assert second != first
+
+    def test_remap_and_state_assignment_invalidate(self, small_dataset):
+        t = _trainer(workload="resnet56_cifar10", batch=32, vns=4, devices=2,
+                     dataset_size=64)
+        ex = t.executor
+        t.train_epoch()
+        ex.evaluate(t.dataset.x_val, t.dataset.y_val)
+        assert ex._eval_state is not None
+        t.resize(1)
+        assert ex._eval_state is None
+        ex.evaluate(t.dataset.x_val, t.dataset.y_val)
+        ex.vn_states = [s.copy() for s in ex.vn_states]  # checkpoint restore path
+        assert ex._eval_state is None
+
+
+class TestElasticBackendThreading:
+    def test_jobspec_backend_validation(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            JobSpec(job_id=0, workload="mlp_synthetic", global_batch_size=32,
+                    total_virtual_nodes=4, demand_gpus=2, total_steps=10,
+                    backend="nope")
+
+    def test_jobspec_materializes_with_backend(self):
+        spec = JobSpec(job_id=0, workload="mlp_synthetic", global_batch_size=32,
+                       total_virtual_nodes=4, demand_gpus=2, total_steps=10,
+                       backend="fused")
+        config = spec.to_trainer_config(dataset_size=64)
+        assert config.backend == "fused"
+        assert config.num_devices == 2
+        trainer = VirtualFlowTrainer(config)
+        trainer.train(epochs=1)
+        assert trainer.executor.backend.name == "fused"
+
+    def test_trace_stamps_backend(self):
+        from repro.elastic import generate_trace
+
+        trace = generate_trace(3, 12.0, seed=0, backend="fused")
+        assert all(spec.backend == "fused" for spec in trace)
+        # Simulated step times are backend-independent by construction.
+        ref = generate_trace(3, 12.0, seed=0, backend="reference")
+        for a, b in zip(trace, ref):
+            assert a.step_time(a.demand_gpus) == b.step_time(b.demand_gpus)
