@@ -6,12 +6,25 @@ section, prints the same rows/series the paper reports, and saves them under
 Assertions check the paper's *shape* (who wins, by roughly what factor),
 never absolute numbers — the substrate is a simulator, not the authors'
 testbed.
+
+``BENCH_*.json`` convention
+---------------------------
+Host-performance benchmarks (wall-clock measurements of this repo's own hot
+paths, as opposed to simulated-hardware figures) additionally persist a
+machine-readable record via :func:`save_bench_json`: one
+``benchmarks/results/BENCH_<name>.json`` file per benchmark, containing at
+least ``{"benchmark": <name>, "configs": [...], "speedup": <headline>}``.
+These files are the repo's performance trajectory — each perf-focused PR
+re-runs them so regressions in the fused hot paths are visible as numbers,
+not vibes.  CI smoke-runs them with tiny configs to catch breakage early
+(see ``bench_arena_fusion.py --smoke``).
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Any, Iterable, Sequence
+from typing import Any, Dict, Iterable, Sequence
 
 from repro.utils import format_table
 
@@ -37,3 +50,16 @@ def save_series(name: str, header: str, lines: Iterable[str]) -> None:
         fh.write(header + "\n")
         for line in lines:
             fh.write(line + "\n")
+
+
+def save_bench_json(name: str, payload: Dict[str, Any]) -> str:
+    """Persist a machine-readable ``BENCH_<name>.json`` perf record.
+
+    See the module docstring for the convention.  Returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump({"benchmark": name, **payload}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

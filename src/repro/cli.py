@@ -99,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--backend", choices=backend_names(), default="reference",
                        help="execution backend (host strategy; results are "
                             "backend-independent)")
+    train.add_argument("--no-arena", action="store_true",
+                       help="disable the flat tensor arena hot path (host "
+                            "strategy; results are identical either way)")
 
     infer = sub.add_parser("infer", help="serve inference under virtual nodes")
     infer.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
@@ -159,7 +162,7 @@ def _cmd_train(args) -> int:
         num_virtual_nodes=args.virtual_nodes, device_type=args.device_type,
         num_devices=args.devices, seed=args.seed,
         dataset_size=args.dataset_size, learning_rate=args.lr,
-        backend=args.backend))
+        backend=args.backend, arena=not args.no_arena))
     print(trainer.executor.plan.describe())
     rows = []
     for epoch in range(args.epochs):

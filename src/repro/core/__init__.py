@@ -25,7 +25,7 @@ from repro.core.virtual_node import VirtualNode, VirtualNodeSet
 from repro.core.mapping import Mapping
 from repro.core.sharding import shard_batch, shard_sizes
 from repro.core.gradient_buffer import GradientBuffer
-from repro.core.sync import allreduce_gradients, weighted_average
+from repro.core.sync import allreduce_gradients, weighted_average, weighted_average_flat
 from repro.core.state import VirtualNodeState, migrate_states
 from repro.core.plan import ExecutionPlan, PlanValidationError
 from repro.core.backends import (
@@ -89,4 +89,5 @@ __all__ = [
     "shard_batch",
     "shard_sizes",
     "weighted_average",
+    "weighted_average_flat",
 ]

@@ -61,6 +61,13 @@ class TrainStep:
     ``shards`` are the per-virtual-node ``(x, y)`` slices in canonical order
     (produced by :func:`repro.core.sharding.shard_batch`); ``vn_states`` are
     updated in place when the model carries stateful kernels.
+
+    ``arena`` is the model's installed
+    :class:`~repro.framework.arena.FlatTensorArena`, when the executor runs
+    the fused flat-buffer hot path.  Backends then stack per-virtual-node
+    gradients as contiguous rows and return the average as an arena view
+    (one flat array) instead of a dict of fresh allocations; results are
+    bit-identical either way.
     """
 
     model: Module
@@ -72,6 +79,7 @@ class TrainStep:
     epoch: int
     step: int
     augment: Optional[object] = None  # repro.data.augment.Transform
+    arena: Optional[object] = None  # repro.framework.arena.FlatTensorArena
 
 
 @dataclass(frozen=True)

@@ -112,9 +112,17 @@ class FusedBackend(ExecutionBackend):
 
         # Segment reduction in canonical virtual-node order — the exact
         # arithmetic of sync.weighted_average, including its sorted key
-        # iteration (grad_norm later sums values in dict order).
+        # iteration (grad_norm later sums values in dict order).  With an
+        # arena installed, the averages land directly in one preallocated
+        # flat buffer (returned as an arena view) so the optimizer's fused
+        # whole-arena update engages downstream; values are identical.
         total = float(sum(float(node.batch_size) for node in step.vn_set))
-        avg: Grads = {}
+        if step.arena is not None:
+            avg_flat = np.empty(step.arena.layout.total_size,
+                                dtype=step.arena.layout.dtype)
+            avg: Grads = step.arena.view_of(avg_flat)
+        else:
+            avg = {}
         if len(groups) == 1:
             # Even split: every node carries the same weight, so scaling the
             # whole stack and reducing over the stack axis (a sequential,
@@ -123,7 +131,7 @@ class FusedBackend(ExecutionBackend):
             (size,) = groups
             scale = float(step.vn_set[0].batch_size) / total
             for key in keys:
-                avg[key] = (scale * group_grads[size][key]).sum(axis=0)
+                avg[key] = (scale * group_grads[size][key]).sum(axis=0, out=avg.get(key))
         else:
             for key in keys:
                 size0, pos0 = vn_loc[0]
@@ -131,7 +139,10 @@ class FusedBackend(ExecutionBackend):
                 for node in step.vn_set:
                     size, pos = vn_loc[node.index]
                     acc += (float(node.batch_size) / total) * group_grads[size][key][pos]
-                avg[key] = acc
+                if step.arena is not None:
+                    avg[key][...] = acc
+                else:
+                    avg[key] = acc
 
         weighted_loss = 0.0
         for node in step.vn_set:

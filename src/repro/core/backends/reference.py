@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.backends.base import ExecutionBackend, TrainStep, TrainStepOutput
 from repro.core.sharding import shard_indices
-from repro.core.sync import weighted_average
+from repro.core.sync import weighted_average, weighted_average_flat
 from repro.core.virtual_node import VirtualNodeSet
 from repro.framework.layers import Module
 from repro.utils.seeding import augment_rng, vn_rng
@@ -35,6 +35,8 @@ class ReferenceBackend(ExecutionBackend):
     name = "reference"
 
     def train_step(self, step: TrainStep) -> TrainStepOutput:
+        if step.arena is not None:
+            return self._train_step_arena(step)
         model = step.model
         contributions: List[Tuple[Dict[str, np.ndarray], float]] = []
         weighted_loss = 0.0
@@ -59,6 +61,42 @@ class ReferenceBackend(ExecutionBackend):
             state.buffers = model.state_dict()
         return TrainStepOutput(
             avg_grads=weighted_average(contributions),
+            weighted_loss=weighted_loss,
+        )
+
+    def _train_step_arena(self, step: TrainStep) -> TrainStepOutput:
+        """The wave loop over the model's flat tensor arena.
+
+        Identical wave execution and identical arithmetic — the only changes
+        are mechanical: each wave's gradients are snapshotted as ONE
+        contiguous row of a reused ``(V, P)`` stack (instead of a dict of
+        per-key copies), and the §5.2 weighted average is one scaled
+        stack reduction (instead of a per-key accumulation loop).
+        """
+        model = step.model
+        arena = step.arena
+        num_nodes = step.vn_set.num_nodes
+        stack = arena.grad_stack(num_nodes)
+        weights = [0.0] * num_nodes
+        weighted_loss = 0.0
+        for node, (x_vn, y_vn) in zip(step.vn_set, step.shards):
+            state = step.vn_states[node.index]
+            model.load_state_dict(state.buffers)
+            if step.augment is not None:
+                x_vn = step.augment.apply(
+                    x_vn, augment_rng(step.seed, step.epoch, step.step, node.index))
+            rng = vn_rng(step.seed, step.epoch, step.step, node.index)
+            logits = model.forward(x_vn, training=True, rng=rng)
+            loss_value = step.loss_fn.forward(logits, y_vn)
+            model.zero_grad()
+            model.backward(step.loss_fn.backward())
+            stack[node.index] = arena.grads_flat  # one contiguous snapshot
+            weights[node.index] = float(node.batch_size)
+            weighted_loss += loss_value * node.batch_size
+            state.buffers = model.state_dict()
+        avg_flat = weighted_average_flat(stack, weights, clobber=True)
+        return TrainStepOutput(
+            avg_grads=arena.view_of(avg_flat),
             weighted_loss=weighted_loss,
         )
 

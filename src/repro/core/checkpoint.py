@@ -7,7 +7,14 @@ the whole point of the paper: the same checkpoint restores onto any cluster
 shape, and training continues bit-exactly.
 
 The format is a single ``.npz`` file with namespaced array keys plus a JSON
-metadata blob.
+metadata blob.  Format version 2 serializes through the flat tensor arena
+where available — the model as ONE contiguous parameter buffer
+(``model.flat``), optimizer slots as one buffer per slot kind
+(``optimizer.flat/<slot>``), and all virtual-node stateful kernels as one
+``(num_nodes, state_size)`` matrix (``vn.flat``) — with the name -> slice
+tables recorded in the metadata, instead of a dict-of-copies per section.
+Version-1 checkpoints (per-tensor keys) still load; values round-trip
+bit-identically through either representation.
 """
 
 from __future__ import annotations
@@ -19,24 +26,19 @@ from typing import Dict
 import numpy as np
 
 from repro.core.executor import VirtualFlowExecutor
-from repro.core.state import VirtualNodeState
+from repro.core.state import VirtualNodeState, pack_states, state_layout, unpack_states
+from repro.framework.arena import FlatLayout
 
 __all__ = ["save_checkpoint", "load_checkpoint"]
 
 _META_KEY = "__virtualflow_meta__"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_checkpoint(executor: VirtualFlowExecutor, path: str) -> None:
     """Write the executor's full training state to ``path`` (.npz)."""
     arrays: Dict[str, np.ndarray] = {}
-    for key, value in executor.model.parameters().items():
-        arrays[f"model/{key}"] = value
-    for key, value in executor.optimizer.state_dict().items():
-        arrays[f"optimizer/{key}"] = value
-    for state in executor.vn_states:
-        for key, value in state.buffers.items():
-            arrays[f"vn/{state.vn_index}/{key}"] = value
     meta = {
         "format_version": FORMAT_VERSION,
         "workload": executor.workload.name,
@@ -47,12 +49,35 @@ def save_checkpoint(executor: VirtualFlowExecutor, path: str) -> None:
         "sim_time": executor.sim_time,
         "optimizer_step_count": executor.optimizer.step_count,
     }
+    arena = executor.arena
+    if arena is not None:
+        arrays["model.flat"] = arena.params_flat
+        meta["param_layout"] = arena.layout.spec()
+    else:
+        for key, value in executor.model.parameters().items():
+            arrays[f"model/{key}"] = value
+    flat_slots = executor.optimizer.flat_slots()
+    if arena is not None and flat_slots:
+        for slot, value in flat_slots.items():
+            arrays[f"optimizer.flat/{slot}"] = value
+    else:
+        for key, value in executor.optimizer.state_dict().items():
+            arrays[f"optimizer/{key}"] = value
+    layout = state_layout(executor.vn_states)
+    if layout is not None:
+        arrays["vn.flat"] = pack_states(executor.vn_states, layout)
+        meta["state_layout"] = layout.spec()
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     ).copy()
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez(path, **arrays)
+
+
+def _layout_from_meta(meta: Dict, key: str) -> FlatLayout:
+    spec = meta[key]
+    return FlatLayout.from_spec(spec["names"], spec["shapes"])
 
 
 def load_checkpoint(executor: VirtualFlowExecutor, path: str) -> Dict:
@@ -64,7 +89,7 @@ def load_checkpoint(executor: VirtualFlowExecutor, path: str) -> Dict:
     """
     with np.load(path) as data:
         meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
-        if meta.get("format_version") != FORMAT_VERSION:
+        if meta.get("format_version") not in _SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported checkpoint format {meta.get('format_version')!r}"
             )
@@ -80,25 +105,48 @@ def load_checkpoint(executor: VirtualFlowExecutor, path: str) -> Dict:
                 "node set is an application-level hyperparameter and must be "
                 "preserved"
             )
-        model_params = {
-            key[len("model/"):]: data[key]
-            for key in data.files if key.startswith("model/")
-        }
-        executor.model.set_parameters(model_params)
-        optimizer_state = {
-            key[len("optimizer/"):]: data[key]
-            for key in data.files if key.startswith("optimizer/")
-        }
+        if "model.flat" in data.files:
+            layout = _layout_from_meta(meta, "param_layout")
+            executor.model.set_parameters(layout.views(data["model.flat"]))
+        else:
+            model_params = {
+                key[len("model/"):]: data[key]
+                for key in data.files if key.startswith("model/")
+            }
+            executor.model.set_parameters(model_params)
+        flat_slot_keys = [k for k in data.files if k.startswith("optimizer.flat/")]
+        if flat_slot_keys:
+            # Expand each flat slot buffer back into the per-key state-dict
+            # namespace the optimizer API speaks (views: load copies them).
+            layout = _layout_from_meta(meta, "param_layout")
+            optimizer_state = {}
+            for key in flat_slot_keys:
+                slot = key[len("optimizer.flat/"):]
+                for name, view in layout.views(data[key]).items():
+                    optimizer_state[f"{slot}.{name}"] = view
+        else:
+            optimizer_state = {
+                key[len("optimizer/"):]: data[key]
+                for key in data.files if key.startswith("optimizer/")
+            }
         executor.optimizer.load_state_dict(optimizer_state)
         executor.optimizer.step_count = int(meta["optimizer_step_count"])
-        new_states = []
-        for i in range(executor.vn_set.num_nodes):
-            prefix = f"vn/{i}/"
-            buffers = {
-                key[len(prefix):]: data[key].copy()
-                for key in data.files if key.startswith(prefix)
-            }
-            new_states.append(VirtualNodeState(vn_index=i, buffers=buffers))
+        if "vn.flat" in data.files:
+            layout = _layout_from_meta(meta, "state_layout")
+            new_states = unpack_states(data["vn.flat"], layout)
+            if len(new_states) != executor.vn_set.num_nodes:
+                raise ValueError(
+                    f"checkpoint packs state for {len(new_states)} virtual "
+                    f"nodes, executor has {executor.vn_set.num_nodes}")
+        else:
+            new_states = []
+            for i in range(executor.vn_set.num_nodes):
+                prefix = f"vn/{i}/"
+                buffers = {
+                    key[len(prefix):]: data[key].copy()
+                    for key in data.files if key.startswith(prefix)
+                }
+                new_states.append(VirtualNodeState(vn_index=i, buffers=buffers))
         executor.vn_states = new_states
     executor.steps_run = int(meta["steps_run"])
     executor.examples_seen = int(meta["examples_seen"])

@@ -43,8 +43,9 @@ from repro.core.gradient_buffer import GradientBuffer
 from repro.core.mapping import Mapping
 from repro.core.plan import ExecutionPlan
 from repro.core.sharding import shard_batch
-from repro.core.state import VirtualNodeState, migrate_states
+from repro.core.state import VirtualNodeState, migrate_states, pack_states, state_layout
 from repro.core.virtual_node import VirtualNodeSet
+from repro.framework.arena import FlatTensorArena
 from repro.framework.layers import Module
 from repro.framework.losses import Loss
 from repro.framework.metrics import accuracy
@@ -85,18 +86,27 @@ class VirtualFlowExecutor:
     backend:
         Execution-backend name or instance (``"reference"`` or ``"fused"``);
         selects the host execution strategy, never the numeric results.
+    arena:
+        Install a :class:`~repro.framework.arena.FlatTensorArena` on the
+        model (default): parameters and gradients live in two contiguous
+        buffers, and the sync + optimizer hot path runs as a handful of
+        fused vector ops.  ``arena=False`` keeps the original
+        dict-of-scattered-arrays path; both produce bit-identical results
+        (asserted by ``tests/framework/test_arena.py``).
     """
 
     def __init__(self, workload: Workload, model: Module, loss_fn: Loss,
                  optimizer: Optimizer, mapping: Mapping, seed: int = 0,
                  perf: Optional[PerfModel] = None, augment=None,
-                 backend: object = "reference") -> None:
+                 backend: object = "reference", arena: bool = True) -> None:
         self.workload = workload
         self.model = model
         self.loss_fn = loss_fn
         self.optimizer = optimizer
         self.seed = seed
         self.augment = augment  # optional repro.data.augment.Transform
+        self.arena: Optional[FlatTensorArena] = (
+            FlatTensorArena.install(model) if arena else None)
         self.engine = VirtualNodeEngine(workload, mapping, backend=backend, perf=perf)
         self.sim_time = 0.0
         self.steps_run = 0
@@ -109,6 +119,7 @@ class VirtualFlowExecutor:
             for i in range(mapping.vn_set.num_nodes)
         ]
         self._eval_state: Optional[Dict[str, np.ndarray]] = None
+        self._state_stack: Optional[np.ndarray] = None  # (V, S) merge scratch
 
     # -- engine-delegated views ---------------------------------------------
 
@@ -174,6 +185,7 @@ class VirtualFlowExecutor:
             epoch=epoch,
             step=step,
             augment=self.augment,
+            arena=self.arena,
         ))
         avg_grads = out.avg_grads
         # Step 5: every replica applies the same averaged gradients.
@@ -218,16 +230,25 @@ class VirtualFlowExecutor:
         evaluation model.  The merge is cached between steps — repeated
         ``evaluate()`` calls (early-stopping loops) reuse it until a step,
         remap, or checkpoint restore invalidates it.
+
+        The merge packs all node states into one ``(num_nodes, state_size)``
+        matrix (reusing a cached stack) and reduces it in one in-order pass
+        — bit-identical to the per-key accumulation loop it replaces.
         """
         if self._eval_state is None:
-            merged: Dict[str, np.ndarray] = {}
-            n = len(self._vn_states)
-            for key in self._vn_states[0].buffers:
-                acc = np.zeros_like(self._vn_states[0].buffers[key])
-                for state in self._vn_states:
-                    acc += state.buffers[key]
-                merged[key] = acc / n
-            self._eval_state = merged
+            states = self._vn_states
+            layout = state_layout(states)
+            if layout is None:
+                self._eval_state = {}
+                return self._eval_state
+            if self._state_stack is None or self._state_stack.shape != (
+                    len(states), layout.total_size):
+                self._state_stack = np.empty((len(states), layout.total_size),
+                                             dtype=layout.dtype)
+            stack = pack_states(states, layout, out=self._state_stack)
+            merged_flat = stack.sum(axis=0)
+            merged_flat /= len(states)
+            self._eval_state = layout.views(merged_flat)
         return self._eval_state
 
     def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> Tuple[float, float]:

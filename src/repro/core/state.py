@@ -21,9 +21,17 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.mapping import Mapping
+from repro.framework.arena import FlatLayout
 from repro.hardware.interconnect import Interconnect
 
-__all__ = ["VirtualNodeState", "migrate_states", "migration_time"]
+__all__ = [
+    "VirtualNodeState",
+    "migrate_states",
+    "migration_time",
+    "state_layout",
+    "pack_states",
+    "unpack_states",
+]
 
 Buffers = Dict[str, np.ndarray]
 
@@ -49,6 +57,43 @@ class VirtualNodeState:
         if set(self.buffers) != set(other.buffers):
             return False
         return all(np.array_equal(self.buffers[k], other.buffers[k]) for k in self.buffers)
+
+
+# -- flat snapshots ----------------------------------------------------------
+#
+# Stateful kernels are tiny compared to parameters, but there is one set per
+# virtual node — a 32-node job snapshots/merges/serializes 32 dicts.  A
+# FlatLayout over the buffer template turns all of that into operations on
+# one (num_nodes, state_size) matrix.
+
+
+def state_layout(states: List[VirtualNodeState]) -> Optional[FlatLayout]:
+    """A flat layout over the (shared) buffer template, or None if stateless."""
+    if not states or not states[0].buffers:
+        return None
+    return FlatLayout(states[0].buffers)
+
+
+def pack_states(states: List[VirtualNodeState], layout: FlatLayout,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Stack every node's buffers into one ``(num_nodes, state_size)`` matrix.
+
+    Row order is list order (callers keep states in canonical vn order).
+    """
+    if out is None:
+        out = np.empty((len(states), layout.total_size), dtype=layout.dtype)
+    for row, state in zip(out, states):
+        layout.pack(state.buffers, out=row)
+    return out
+
+
+def unpack_states(matrix: np.ndarray, layout: FlatLayout) -> List[VirtualNodeState]:
+    """Rebuild per-node states from a packed ``(num_nodes, state_size)`` matrix."""
+    return [
+        VirtualNodeState(vn_index=i,
+                         buffers={k: v.copy() for k, v in layout.views(row).items()})
+        for i, row in enumerate(matrix)
+    ]
 
 
 def migration_time(old_mapping: Mapping, new_mapping: Mapping, model_bytes: int,

@@ -11,15 +11,34 @@ contributions.  :func:`allreduce_gradients` is the cluster-wide step: it
 reduces per-device weighted sums in a canonical device order and hands every
 device the identical averaged result, mirroring a deterministic ring
 all-reduce.
+
+Flat fast path
+--------------
+When every contribution is an arena view over one shared
+:class:`~repro.framework.arena.FlatLayout`, the per-key accumulation loops
+collapse into :func:`weighted_average_flat`: the contributions form an
+``(n, P)`` stack whose rows are scaled and summed over the leading axis.
+NumPy accumulates a leading-axis reduction row by row in order, so the
+result is **bit-identical** to the canonical per-key loop — the same
+property the fused execution backend relies on — while doing one vector
+multiply and one vector reduction instead of ``2 * n * num_params`` small
+ops.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["weighted_average", "allreduce_gradients", "naive_average"]
+from repro.framework.arena import ArenaView, FlatLayout
+
+__all__ = [
+    "weighted_average",
+    "weighted_average_flat",
+    "allreduce_gradients",
+    "naive_average",
+]
 
 Grads = Dict[str, np.ndarray]
 
@@ -34,18 +53,74 @@ def _check_keys(contributions: Sequence[Tuple[Grads, float]]) -> List[str]:
     return keys
 
 
+def _common_layout(contributions: Sequence[Tuple[Grads, float]],
+                   ) -> Optional[FlatLayout]:
+    """The shared arena layout, when every contribution carries the same one."""
+    first = getattr(contributions[0][0], "layout", None)
+    if first is None:
+        return None
+    for grads, _ in contributions[1:]:
+        layout = getattr(grads, "layout", None)
+        if layout is None or not (layout is first or layout == first):
+            return None
+    return first
+
+
+def _total_weight(weights: Sequence[float]) -> float:
+    # Plain sequential Python sum — the canonical accumulation order (NumPy's
+    # pairwise np.sum could differ in the last ulp for many contributions).
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError(f"total weight must be positive, got {total}")
+    return total
+
+
+def weighted_average_flat(stack: np.ndarray, weights: Sequence[float],
+                          out: Optional[np.ndarray] = None,
+                          clobber: bool = False) -> np.ndarray:
+    """Example-weighted average of an ``(n, P)`` flat-gradient stack.
+
+    Row ``i`` is one contribution's flat gradients with weight
+    ``weights[i]``.  Rows are scaled by ``weight / total`` and summed over
+    the leading axis — a sequential, in-order accumulation, bit-identical to
+    :func:`weighted_average`'s per-key loop.  ``out`` receives the result
+    when given (preallocated hot-path buffers); ``clobber=True`` lets the
+    scaling happen in place on ``stack`` (scratch buffers).
+    """
+    stack = np.asarray(stack)
+    if stack.ndim != 2:
+        raise ValueError(f"expected an (n, P) stack, got shape {stack.shape}")
+    if len(weights) != stack.shape[0]:
+        raise ValueError(
+            f"{len(weights)} weights for {stack.shape[0]} contributions")
+    total = _total_weight(weights)
+    scale = np.asarray([w / total for w in weights], dtype=stack.dtype)
+    if clobber:
+        stack *= scale[:, None]
+        scaled = stack
+    else:
+        scaled = stack * scale[:, None]
+    return scaled.sum(axis=0, out=out)
+
+
 def weighted_average(contributions: Sequence[Tuple[Grads, float]]) -> Grads:
     """Example-weighted average of per-worker mean gradients.
 
     Each contribution is ``(mean_grads, example_count)``.  The result equals
     the plain mean over all examples, however they were split — the §5.2
     correctness property.  Summation follows the given (canonical) order, so
-    results are bit-reproducible.
+    results are bit-reproducible.  Arena-backed contributions reduce as one
+    flat stack (see :func:`weighted_average_flat`).
     """
+    if not contributions:
+        raise ValueError("no gradient contributions to synchronize")
+    layout = _common_layout(contributions)
+    if layout is not None:
+        stack = np.stack([grads.flat for grads, _ in contributions])
+        weights = [w for _, w in contributions]
+        return ArenaView(layout, weighted_average_flat(stack, weights, clobber=True))
     keys = _check_keys(contributions)
-    total = float(sum(w for _, w in contributions))
-    if total <= 0:
-        raise ValueError(f"total weight must be positive, got {total}")
+    total = _total_weight([w for _, w in contributions])
     out: Grads = {}
     for key in keys:
         acc = np.zeros_like(contributions[0][0][key])
@@ -77,15 +152,20 @@ def allreduce_gradients(per_device: Dict[int, Tuple[Grads, float]]) -> Grads:
 
     Devices are visited in ascending id order so the floating-point reduction
     is independent of arrival order; every device receives the same arrays,
-    exactly as a synchronous all-reduce guarantees.
+    exactly as a synchronous all-reduce guarantees.  Arena-backed sums (the
+    gradient buffer's flat views) reduce as one stacked pass.
     """
     if not per_device:
         raise ValueError("no devices to synchronize")
     ordered = [per_device[d] for d in sorted(per_device)]
+    layout = _common_layout(ordered)
+    total = _total_weight([w for _, w in ordered])
+    if layout is not None:
+        stack = np.stack([sums.flat for sums, _ in ordered])
+        avg = stack.sum(axis=0)
+        avg /= total
+        return ArenaView(layout, avg)
     keys = _check_keys(ordered)
-    total = float(sum(w for _, w in ordered))
-    if total <= 0:
-        raise ValueError(f"total weight must be positive, got {total}")
     out: Grads = {}
     for key in keys:
         acc = np.zeros_like(ordered[0][0][key])

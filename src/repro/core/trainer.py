@@ -42,7 +42,9 @@ class TrainerConfig:
     feasibility.  ``vn_sizes`` overrides even splitting for heterogeneous
     configurations.  ``backend`` picks the host execution strategy
     (``"reference"`` or ``"fused"``) — it changes wall-clock cost only,
-    never the training trajectory.
+    never the training trajectory.  ``arena`` (default on) runs the
+    parameter/gradient hot path over contiguous flat buffers — also host
+    wall-clock only, bit-identical results.
     """
 
     workload: str
@@ -55,6 +57,7 @@ class TrainerConfig:
     vn_sizes: Optional[Sequence[int]] = None
     learning_rate: Optional[float] = None
     backend: str = "reference"
+    arena: bool = True
 
     def __post_init__(self) -> None:
         from repro.core.backends import get_backend
@@ -114,6 +117,7 @@ class VirtualFlowTrainer:
             seed=config.seed,
             augment=augment,
             backend=config.backend,
+            arena=config.arena,
         )
         self.history: List[EpochResult] = []
         self._epochs_done = 0

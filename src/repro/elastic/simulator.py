@@ -84,7 +84,8 @@ class ClusterSimulator:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate job ids in trace")
         jobs: Dict[int, JobState] = {s.job_id: JobState(spec=s) for s in specs}
-        pending_arrivals = sorted(specs, key=lambda s: (s.arrival_time, s.job_id))
+        arrivals = sorted(specs, key=lambda s: (s.arrival_time, s.job_id))
+        next_arrival_idx = 0  # index walk: no O(n) pop(0) per arrival
         arrived: List[JobState] = []
         history: List[Tuple[float, Dict[int, int]]] = []
         # Per-job progress penalty applied at the next advance (resize cost).
@@ -115,19 +116,28 @@ class ClusterSimulator:
 
         while True:
             active = [j for j in arrived if j.status != JobStatus.FINISHED]
-            if not active and not pending_arrivals:
+            if not active and next_arrival_idx >= len(arrivals):
                 break
+            # Each running job's rate is a pure function of its allocation,
+            # which only changes at events — compute it once per iteration
+            # and share it between the completion prediction and the advance.
+            rates: Dict[int, float] = {
+                job.job_id: job.spec.throughput_steps(job.gpus, self.perf)
+                for job in active
+                if job.status == JobStatus.RUNNING and job.gpus > 0
+            }
             # Predict the next completion under current rates.
             next_finish: Optional[Tuple[float, JobState]] = None
             for job in active:
-                if job.status != JobStatus.RUNNING or job.gpus == 0:
+                rate = rates.get(job.job_id)
+                if rate is None:
                     continue
                 start = max(time, stall_until.get(job.job_id, time))
-                rate = job.spec.throughput_steps(job.gpus, self.perf)
                 eta = start + job.remaining_steps / rate
                 if next_finish is None or eta < next_finish[0]:
                     next_finish = (eta, job)
-            next_arrival = pending_arrivals[0].arrival_time if pending_arrivals else None
+            next_arrival = (arrivals[next_arrival_idx].arrival_time
+                            if next_arrival_idx < len(arrivals) else None)
             if next_finish is None and next_arrival is None:
                 raise RuntimeError(
                     f"deadlock at t={time:.1f}: jobs queued but nothing running "
@@ -140,18 +150,19 @@ class ClusterSimulator:
                 raise RuntimeError(f"simulation exceeded max_time={max_time}")
             # Advance all running jobs to next_time.
             for job in active:
-                if job.status == JobStatus.RUNNING and job.gpus > 0:
+                rate = rates.get(job.job_id)
+                if rate is not None:
                     start = max(time, stall_until.get(job.job_id, time))
                     span = max(0.0, next_time - start)
-                    rate = job.spec.throughput_steps(job.gpus, self.perf)
                     job.steps_done = min(job.spec.total_steps,
                                          job.steps_done + span * rate)
             time = next_time
             changed = False
             # Arrivals at this instant.
-            while pending_arrivals and pending_arrivals[0].arrival_time <= time + _EPS:
-                spec = pending_arrivals.pop(0)
-                arrived.append(jobs[spec.job_id])
+            while (next_arrival_idx < len(arrivals)
+                   and arrivals[next_arrival_idx].arrival_time <= time + _EPS):
+                arrived.append(jobs[arrivals[next_arrival_idx].job_id])
+                next_arrival_idx += 1
                 changed = True
             # Completions at this instant.
             for job in active:

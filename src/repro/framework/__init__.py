@@ -9,6 +9,7 @@ stochasticity (initialization, dropout) is injected through explicit
 key randomness to logical, placement-free coordinates.
 """
 
+from repro.framework.arena import ArenaView, FlatLayout, FlatTensorArena
 from repro.framework.layers import (
     BatchNorm,
     Conv2D,
@@ -53,6 +54,9 @@ from repro.framework.schedules import (
 __all__ = [
     "Adam",
     "AdamW",
+    "ArenaView",
+    "FlatLayout",
+    "FlatTensorArena",
     "ConstantSchedule",
     "CosineSchedule",
     "BatchNorm",

@@ -1,0 +1,284 @@
+"""Flat tensor arena: the parameter/gradient hot path as contiguous buffers.
+
+The dict-of-arrays API (``model.parameters()``, ``model.gradients()``) is the
+right *interface* for virtual-node semantics — checkpointing, migration, and
+the §5.2 weighted synchronization are all defined over named tensors — but it
+is the wrong *storage*: every hot-path operation (gradient fold, all-reduce,
+optimizer update, state snapshot) degenerates into a Python loop over keys
+with one small NumPy call and often one fresh allocation each.  For
+many-virtual-node configurations that per-key overhead dominates host
+wall-clock.
+
+This module applies the standard systems remedy — tensor fusion, as in
+Horovod's fusion buffer and PyTorch DDP's gradient buckets — end to end:
+
+* :class:`FlatLayout` is an immutable name -> (offset, shape) table over one
+  contiguous 1-D array, in canonical (sorted-name) order.
+* :class:`FlatTensorArena` allocates one **parameter arena** and one
+  **gradient arena** for a model and re-registers every module's parameter
+  and gradient arrays as reshaped *views* into them.  Layer code is
+  untouched — ``self.grads["w"] += ...`` writes straight into the arena —
+  and the dict API keeps working, now backed by views instead of scattered
+  allocations.
+* :class:`ArenaView` is that dict API: a plain ``dict`` of named views that
+  also carries the flat base array, so flat-aware consumers (the optimizers'
+  fast paths, :func:`repro.core.sync.weighted_average_flat`, the gradient
+  buffer's axpy fold) can detect it and collapse their per-key loops into a
+  handful of fused vector operations.
+
+Bit-exactness contract
+----------------------
+Every fused path reproduces the dict path's floating-point arithmetic **bit
+for bit**: elementwise updates are order-free, reductions keep the canonical
+accumulation order (a scaled ``(n, P)`` stack summed over its leading axis
+accumulates rows sequentially, exactly like the per-key loop), and LAMB's
+per-parameter trust ratios use the same BLAS dot that ``np.linalg.norm``
+ravels into.  ``np.add.reduceat`` (exposed as :meth:`FlatLayout.
+segment_sums`) sums segments sequentially, which differs from that dot in
+the last ulp — it is therefore reserved for diagnostics, never for updates.
+
+Invalidation rules
+------------------
+A layout is immutable and tied to a fixed set of parameter names/shapes; the
+arena is installed once per model (``FlatTensorArena.install`` is
+idempotent).  Views stay valid for the model's lifetime because layers only
+ever write parameters in place (``array[...] = ...``, ``+=``); rebinding a
+``module.params`` entry to a new array would detach it from the arena and is
+the one thing layer code must not do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FlatLayout", "ArenaView", "FlatTensorArena", "flat_pair"]
+
+
+class FlatLayout:
+    """Immutable name -> slice table over one contiguous 1-D buffer.
+
+    Names are ordered canonically (sorted), matching the deterministic key
+    order the dict-path optimizer and synchronization code already use.
+    """
+
+    __slots__ = ("names", "shapes", "sizes", "starts", "total_size", "dtype",
+                 "_slices")
+
+    def __init__(self, template: Mapping[str, np.ndarray]) -> None:
+        if not template:
+            raise ValueError("flat layout needs a non-empty tensor template")
+        names = tuple(sorted(template))
+        dtypes = {np.asarray(template[k]).dtype for k in names}
+        if len(dtypes) != 1:
+            raise ValueError(f"mixed dtypes in template: {sorted(map(str, dtypes))}")
+        self.names = names
+        self.dtype = dtypes.pop()
+        self.shapes: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(np.asarray(template[k]).shape) for k in names)
+        self.sizes = np.array([int(np.prod(s)) if s else 1 for s in self.shapes],
+                              dtype=np.intp)
+        self.starts = np.zeros(len(names), dtype=np.intp)
+        np.cumsum(self.sizes[:-1], out=self.starts[1:])
+        self.total_size = int(self.sizes.sum())
+        self._slices = {
+            name: (int(start), int(start + size), shape)
+            for name, start, size, shape in zip(
+                names, self.starts, self.sizes, self.shapes)
+        }
+
+    @classmethod
+    def from_spec(cls, names: Iterable[str], shapes: Iterable[Iterable[int]],
+                  dtype=np.float64) -> "FlatLayout":
+        """Rebuild a layout from serialized (names, shapes) metadata."""
+        scalar = np.zeros(1, dtype=dtype)
+        template = {
+            # Zero-stride dummies: carry shape/dtype without allocating.
+            name: np.lib.stride_tricks.as_strided(
+                scalar, shape=tuple(shape), strides=(0,) * len(tuple(shape)))
+            for name, shape in zip(names, shapes)
+        }
+        return cls(template)
+
+    def spec(self) -> Dict[str, list]:
+        """JSON-serializable (names, shapes) metadata for :meth:`from_spec`."""
+        return {"names": list(self.names),
+                "shapes": [list(s) for s in self.shapes]}
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, FlatLayout):
+            return NotImplemented
+        return (self.names == other.names and self.shapes == other.shapes
+                and self.dtype == other.dtype)
+
+    def __hash__(self) -> int:
+        return hash((self.names, self.shapes, str(self.dtype)))
+
+    # -- views & packing -----------------------------------------------------
+
+    def view(self, flat: np.ndarray, name: str) -> np.ndarray:
+        start, end, shape = self._slices[name]
+        return flat[start:end].reshape(shape)
+
+    def views(self, flat: np.ndarray) -> Dict[str, np.ndarray]:
+        """Named reshaped views over ``flat`` (no copies)."""
+        if flat.shape != (self.total_size,):
+            raise ValueError(
+                f"flat buffer has shape {flat.shape}, layout needs "
+                f"({self.total_size},)")
+        return {name: flat[start:end].reshape(shape)
+                for name, (start, end, shape) in self._slices.items()}
+
+    def alloc(self, fill: Optional[float] = 0.0) -> np.ndarray:
+        """Fresh flat buffer (zeroed by default; ``fill=None`` leaves it raw)."""
+        if fill is None:
+            return np.empty(self.total_size, dtype=self.dtype)
+        return np.full(self.total_size, fill, dtype=self.dtype)
+
+    def pack(self, arrays: Mapping[str, np.ndarray],
+             out: Optional[np.ndarray] = None,
+             missing_zero: bool = False) -> np.ndarray:
+        """Gather named arrays into one contiguous buffer.
+
+        ``missing_zero`` fills absent names with zeros (used when packing
+        lazily-populated optimizer slot dicts).
+        """
+        flat = out if out is not None else self.alloc(fill=None)
+        for name, (start, end, shape) in self._slices.items():
+            if name in arrays:
+                flat[start:end] = np.asarray(arrays[name]).reshape(-1)
+            elif missing_zero:
+                flat[start:end] = 0.0
+            else:
+                raise KeyError(f"missing tensor {name!r} while packing")
+        return flat
+
+    # -- segmented reductions -------------------------------------------------
+
+    def segment_dots(self, values: np.ndarray) -> np.ndarray:
+        """Per-segment ``seg.dot(seg)`` (sum of squares), one per name.
+
+        Uses the same BLAS dot that ``np.linalg.norm`` applies to each
+        parameter, so ``sqrt(segment_dots(flat))`` is bit-identical to the
+        per-key ``np.linalg.norm`` loop — the property LAMB's fused trust
+        ratios rely on.
+        """
+        out = np.empty(len(self.names), dtype=np.float64)
+        for i, (start, size) in enumerate(zip(self.starts, self.sizes)):
+            seg = values[start:start + size]
+            out[i] = seg.dot(seg)
+        return out
+
+    def segment_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-segment sums in one ``np.add.reduceat`` call.
+
+        Sequential in-segment accumulation: last-ulp different from
+        :meth:`segment_dots`, so this is for diagnostics (per-parameter
+        gradient-norm breakdowns), not for bit-exact update paths.
+        """
+        return np.add.reduceat(values, self.starts)
+
+
+class ArenaView(dict):
+    """Named views over one flat buffer, presented through the dict API.
+
+    Behaves exactly like the plain ``{name: ndarray}`` dicts the rest of the
+    system exchanges, but carries ``.layout`` and ``.flat`` so flat-aware
+    consumers can skip the per-key loop.  Mutating an entry's *contents*
+    writes through to the flat buffer; rebinding an entry would detach it
+    (nothing in the codebase does).
+    """
+
+    __slots__ = ("layout", "flat")
+
+    def __init__(self, layout: FlatLayout, flat: np.ndarray) -> None:
+        super().__init__(layout.views(flat))
+        self.layout = layout
+        self.flat = flat
+
+
+def flat_pair(params, grads) -> Optional[Tuple[FlatLayout, np.ndarray, np.ndarray]]:
+    """(layout, params_flat, grads_flat) when both dicts share one arena layout."""
+    layout = getattr(params, "layout", None)
+    other = getattr(grads, "layout", None)
+    if layout is not None and (layout is other or layout == other):
+        return layout, params.flat, grads.flat
+    return None
+
+
+class FlatTensorArena:
+    """One parameter arena + one gradient arena for a model.
+
+    Construction packs the model's current parameters/gradients into two
+    contiguous buffers and re-registers every module's entries as views, so
+    all subsequent reads and writes — layer backward passes, optimizer
+    updates, checkpoint restores — operate on arena memory.  The model's
+    ``parameters()``/``gradients()``/``zero_grad()`` gain O(1) fast paths
+    through the installed arena.
+    """
+
+    def __init__(self, model) -> None:
+        params = dict(model.named_parameters())
+        self.layout = FlatLayout(params)
+        self.params_flat = self.layout.pack(params)
+        self.grads_flat = self.layout.pack(dict(model.named_gradients()))
+        self.params = ArenaView(self.layout, self.params_flat)
+        self.grads = ArenaView(self.layout, self.grads_flat)
+        self._rebind(model, "")
+        self._stack: Optional[np.ndarray] = None
+        model._arena = self
+
+    @classmethod
+    def install(cls, model) -> "FlatTensorArena":
+        """Install (or reuse) the arena for ``model`` — idempotent."""
+        arena = getattr(model, "_arena", None)
+        if arena is not None:
+            return arena
+        return cls(model)
+
+    def _rebind(self, module, prefix: str) -> None:
+        for key in list(module.params):
+            name = prefix + key
+            module.params[key] = self.params[name]
+            module.grads[key] = self.grads[name]
+        for child_name, child in module.children():
+            self._rebind(child, f"{prefix}{child_name}.")
+
+    # -- fused primitives -----------------------------------------------------
+
+    def zero_grads(self) -> None:
+        """The whole gradient arena to zero in one vector op."""
+        self.grads_flat[...] = 0.0
+
+    def grad_stack(self, rows: int) -> np.ndarray:
+        """Reusable ``(rows, P)`` scratch for stacking per-virtual-node grads.
+
+        Contents are transient within one backend call; callers must fully
+        rewrite the rows they use before reducing.
+        """
+        if self._stack is None or self._stack.shape[0] < rows:
+            self._stack = np.empty((rows, self.layout.total_size),
+                                   dtype=self.layout.dtype)
+        return self._stack[:rows]
+
+    def view_of(self, flat: np.ndarray) -> ArenaView:
+        """Wrap a parameter-arena-shaped flat buffer in the dict API."""
+        return ArenaView(self.layout, flat)
+
+    def load_params_flat(self, flat: np.ndarray) -> None:
+        """Copy a serialized flat parameter buffer into the arena."""
+        if flat.shape != (self.layout.total_size,):
+            raise ValueError(
+                f"flat parameter buffer has shape {flat.shape}, arena needs "
+                f"({self.layout.total_size},)")
+        self.params_flat[...] = flat
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.params_flat.nbytes + self.grads_flat.nbytes)

@@ -92,7 +92,15 @@ class Module:
             yield from child.named_parameters(prefix=f"{prefix}{name}.")
 
     def parameters(self) -> Dict[str, np.ndarray]:
-        """Flat dict of all parameters, name-spaced by module path."""
+        """Flat dict of all parameters, name-spaced by module path.
+
+        With a :class:`~repro.framework.arena.FlatTensorArena` installed the
+        cached arena view is returned directly — same named arrays, no
+        traversal, and flat-aware consumers get the fused fast path.
+        """
+        arena = getattr(self, "_arena", None)
+        if arena is not None:
+            return arena.params
         return dict(self.named_parameters())
 
     def named_gradients(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
@@ -103,6 +111,9 @@ class Module:
 
     def gradients(self) -> Dict[str, np.ndarray]:
         """Flat dict of parameter gradients (same keys as ``parameters``)."""
+        arena = getattr(self, "_arena", None)
+        if arena is not None:
+            return arena.grads
         return dict(self.named_gradients())
 
     def set_parameters(self, flat: Dict[str, np.ndarray]) -> None:
@@ -120,6 +131,10 @@ class Module:
             array[...] = value
 
     def zero_grad(self) -> None:
+        arena = getattr(self, "_arena", None)
+        if arena is not None:
+            arena.zero_grads()
+            return
         for module in self.modules():
             for key in module.grads:
                 module.grads[key][...] = 0.0

@@ -31,15 +31,25 @@ __all__ = ["HeterogeneousSolver"]
 
 
 def _min_vn_count(batch: int, max_wave: int) -> Optional[int]:
-    """Smallest divisor v of ``batch`` with batch/v <= max_wave, else None."""
+    """Smallest divisor v of ``batch`` with batch/v <= max_wave, else None.
+
+    Divisors come in pairs (d, batch // d) with d <= sqrt(batch), so one
+    sqrt-bounded scan finds the answer — the smallest divisor at or above
+    ``batch / max_wave`` — instead of walking ``range(2, batch + 1)``.
+    """
     if max_wave < 1:
         return None
     if batch <= max_wave:
         return 1
-    for v in range(2, batch + 1):
-        if batch % v == 0 and batch // v <= max_wave:
-            return v
-    return None
+    best: Optional[int] = None
+    d = 1
+    while d * d <= batch:
+        if batch % d == 0:
+            for v in (d, batch // d):
+                if batch // v <= max_wave and (best is None or v < best):
+                    best = v
+        d += 1
+    return best
 
 
 class HeterogeneousSolver:
@@ -49,6 +59,17 @@ class HeterogeneousSolver:
         self.workload_name = workload_name
         self.workload: Workload = get_workload(workload_name)
         self.profiles = profiles
+        # Profiles are immutable per (workload, device_type); memoize lookups
+        # so the _search recursion and the fig13/15/16 sweeps stop re-fetching
+        # them in the inner loop.
+        self._profile_cache: Dict[str, ThroughputProfile] = {}
+
+    def _profile(self, device_type: str) -> ThroughputProfile:
+        profile = self._profile_cache.get(device_type)
+        if profile is None:
+            profile = self.profiles.get(self.workload_name, device_type)
+            self._profile_cache[device_type] = profile
+        return profile
 
     # -- scoring -------------------------------------------------------------------
 
@@ -65,7 +86,7 @@ class HeterogeneousSolver:
         comm = 0.0
         n_devices = sum(a.num_devices for a in assignments)
         for ta in assignments:
-            profile = self.profiles.get(self.workload_name, ta.device_type)
+            profile = self._profile(ta.device_type)
             times.append(self._type_step_time(profile, ta.batch_per_device, ta.vn_per_device))
             if n_devices > 1:
                 comm = max(comm, profile.comm_overhead)
@@ -85,7 +106,7 @@ class HeterogeneousSolver:
 
     def _max_wave(self, device_type: str) -> int:
         """Largest per-wave batch on this type (profiled memory limit)."""
-        return self.profiles.get(self.workload_name, device_type).max_batch
+        return self._profile(device_type).max_batch
 
     def _candidate_batches(self, global_batch: int) -> List[int]:
         return power_of_two_like_sizes(global_batch)

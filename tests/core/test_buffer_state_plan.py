@@ -64,6 +64,60 @@ class TestGradientBuffer:
         with pytest.raises(ValueError):
             GradientBuffer({})
 
+    def test_weighted_sum_is_readonly_views_not_copies(self, rng):
+        """Regression: weighted_sum must not deep-copy — and must not let
+        callers mutate the live buffer through the result either."""
+        buf = GradientBuffer(_template(rng))
+        first = _template(rng)
+        buf.add(first, weight=2.0)
+        ws = buf.weighted_sum()
+        for key in ws:
+            assert not ws[key].flags.writeable
+            with pytest.raises(ValueError):
+                ws[key][...] = 99.0
+        # Views, not snapshots: they track later accumulation...
+        buf.add(first, weight=1.0)
+        np.testing.assert_array_equal(ws["w"], 3.0 * first["w"])
+        # ...and the failed write above corrupted nothing.
+        np.testing.assert_allclose(buf.average()["w"], first["w"])
+
+    def test_weighted_sum_flat_matches_dict_view(self, rng):
+        buf = GradientBuffer(_template(rng))
+        buf.add(_template(rng), weight=1.5)
+        flat = buf.weighted_sum_flat()
+        assert not flat.flags.writeable
+        ws = buf.weighted_sum()
+        np.testing.assert_array_equal(flat[:3], ws["b"])  # 'b' sorts first
+
+    def test_allreduce_consumes_readonly_sums(self, rng):
+        from repro.core import allreduce_gradients
+
+        template = _template(rng)
+        bufs = {d: GradientBuffer(template) for d in (0, 1)}
+        contribs = {d: _template(rng) for d in bufs}
+        for d, buf in bufs.items():
+            buf.add(contribs[d], weight=d + 1.0)
+        out = allreduce_gradients(
+            {d: (buf.weighted_sum(), buf.total_weight) for d, buf in bufs.items()})
+        expected_w = (1.0 * contribs[0]["w"] + 2.0 * contribs[1]["w"]) / 3.0
+        np.testing.assert_allclose(out["w"], expected_w)
+
+    def test_arena_backed_add_is_single_axpy_equivalent(self, rng):
+        """Folding arena gradients matches the per-key loop bit for bit."""
+        from repro.framework import FlatTensorArena, get_workload
+
+        model = get_workload("mlp_synthetic").build_model(0)
+        arena = FlatTensorArena.install(model)
+        arena.grads_flat[...] = rng.standard_normal(arena.layout.total_size)
+        flat_buf = GradientBuffer(model.gradients())
+        dict_buf = GradientBuffer({k: v.copy() for k, v in model.gradients().items()})
+        for weight in (1.0, 2.5):
+            flat_buf.add(model.gradients(), weight)   # layout-matched: axpy
+            dict_buf.add({k: v.copy() for k, v in model.gradients().items()}, weight)
+        np.testing.assert_array_equal(flat_buf.weighted_sum_flat(),
+                                      dict_buf.weighted_sum_flat())
+        assert flat_buf.total_weight == dict_buf.total_weight
+
 
 class TestStateMigration:
     def _mappings(self, n_old, n_new, vns=8):

@@ -1,0 +1,211 @@
+"""Flat tensor arena: the fused hot path must be bit-identical to the dict path.
+
+The arena is a host-side storage optimization — parameters/gradients in two
+contiguous buffers, optimizer and synchronization as whole-arena vector ops.
+Its contract mirrors the backend seam's: it may change wall-clock cost only,
+never a single bit of the training trajectory.  This suite trains the same
+configuration with ``arena=True`` and ``arena=False`` and asserts exact
+equality of losses, gradient norms, parameters, optimizer slot variables,
+and stateful kernels — across workloads (stateless and BatchNorm), across
+optimizers (including LAMB's segmented trust ratios), and across both
+execution backends — plus a checkpoint round trip through the flat format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Mapping,
+    TrainerConfig,
+    VirtualFlowTrainer,
+    VirtualNodeSet,
+    VirtualFlowExecutor,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.data import make_dataset
+from repro.framework import (
+    LAMB,
+    SGD,
+    Adam,
+    AdamW,
+    ArenaView,
+    FlatLayout,
+    FlatTensorArena,
+    Momentum,
+    SoftmaxCrossEntropy,
+    get_workload,
+)
+from repro.hardware import Cluster
+
+OPTIMIZERS = {
+    "sgd": lambda: SGD(0.05),
+    "momentum": lambda: Momentum(0.05, momentum=0.9, nesterov=True),
+    "adam": lambda: Adam(1e-3),
+    "adamw": lambda: AdamW(1e-3, weight_decay=0.01),
+    "lamb": lambda: LAMB(1e-3, weight_decay=0.01),
+}
+
+
+def _run(workload_name: str, opt_name: str, backend: str, arena: bool,
+         steps: int = 3, batch: int = 16, vns: int = 4):
+    """Train a few steps; return (executor, losses, grad_norms, val_metrics)."""
+    workload = get_workload(workload_name)
+    vn_set = VirtualNodeSet.even(batch, vns)
+    mapping = Mapping.even(vn_set, Cluster.homogeneous("V100", 2))
+    ex = VirtualFlowExecutor(
+        workload=workload,
+        model=workload.build_model(0),
+        loss_fn=SoftmaxCrossEntropy(),
+        optimizer=OPTIMIZERS[opt_name](),
+        mapping=mapping,
+        seed=0,
+        backend=backend,
+        arena=arena,
+    )
+    data = make_dataset(workload.dataset, n=2 * batch, seed=0)
+    losses, norms = [], []
+    for step in range(steps):
+        result = ex.run_step(data.x_train[:batch], data.y_train[:batch],
+                             epoch=0, step=step)
+        losses.append(result.loss)
+        norms.append(result.grad_norm)
+    val = ex.evaluate(data.x_val, data.y_val)
+    return ex, losses, norms, val
+
+
+def _assert_exact(d: dict, f: dict) -> None:
+    assert set(d) == set(f)
+    for key in d:
+        np.testing.assert_array_equal(d[key], f[key], err_msg=key)
+
+
+class TestArenaEquivalence:
+    """arena=True vs arena=False: bit-identical everything."""
+
+    @pytest.mark.parametrize("workload", ["mlp_synthetic", "resnet56_cifar10",
+                                          "bert_base_glue"])
+    @pytest.mark.parametrize("backend", ["reference", "fused"])
+    def test_workloads_and_backends(self, workload, backend):
+        ex_d, loss_d, norm_d, val_d = _run(workload, "momentum", backend, arena=False)
+        ex_f, loss_f, norm_f, val_f = _run(workload, "momentum", backend, arena=True)
+        assert loss_d == loss_f
+        assert norm_d == norm_f
+        assert val_d == val_f
+        _assert_exact(ex_d.model.parameters(), ex_f.model.parameters())
+        _assert_exact(ex_d.optimizer.state_dict(), ex_f.optimizer.state_dict())
+        for sd, sf in zip(ex_d.vn_states, ex_f.vn_states):
+            assert sd.equals(sf)
+
+    @pytest.mark.parametrize("opt_name", sorted(OPTIMIZERS))
+    def test_every_optimizer(self, opt_name):
+        ex_d, loss_d, _, _ = _run("mlp_synthetic", opt_name, "reference", arena=False)
+        ex_f, loss_f, _, _ = _run("mlp_synthetic", opt_name, "reference", arena=True)
+        assert loss_d == loss_f
+        _assert_exact(ex_d.model.parameters(), ex_f.model.parameters())
+        _assert_exact(ex_d.optimizer.state_dict(), ex_f.optimizer.state_dict())
+
+    def test_uneven_shards_weighted_sync(self):
+        """§5.2 weighting through the flat stack reduction, bit for bit."""
+        runs = {}
+        for arena in (False, True):
+            trainer = VirtualFlowTrainer(TrainerConfig(
+                workload="mlp_synthetic", global_batch_size=24,
+                num_virtual_nodes=3, vn_sizes=(12, 8, 4), num_devices=2,
+                dataset_size=48, arena=arena))
+            history = trainer.train(2)
+            runs[arena] = (history, trainer.executor.model.parameters())
+        (hist_d, params_d), (hist_f, params_f) = runs[False], runs[True]
+        for rd, rf in zip(hist_d, hist_f):
+            assert rd.train_loss == rf.train_loss
+            assert rd.val_loss == rf.val_loss
+        _assert_exact(params_d, params_f)
+
+    def test_checkpoint_flat_round_trip(self, tmp_path):
+        """Arena checkpoints restore bit-exactly into arena AND dict executors."""
+        path = str(tmp_path / "ck.npz")
+        src, _, _, _ = _run("resnet56_cifar10", "adam", "reference", arena=True)
+        save_checkpoint(src, path)
+        snapshot = {k: v.copy() for k, v in src.model.parameters().items()}
+        slots = src.optimizer.state_dict()
+        for arena in (True, False):
+            dst, _, _, _ = _run("resnet56_cifar10", "adam", "reference",
+                                arena=arena, steps=1)
+            load_checkpoint(dst, path)
+            _assert_exact(snapshot, dst.model.parameters())
+            _assert_exact(slots, dst.optimizer.state_dict())
+            for ss, sd in zip(src.vn_states, dst.vn_states):
+                assert ss.equals(sd)
+            assert dst.optimizer.step_count == src.optimizer.step_count
+
+
+class TestArenaMechanics:
+    """Structural properties of the layout/view machinery."""
+
+    def test_views_alias_the_flat_buffers(self):
+        model = get_workload("mlp_synthetic").build_model(0)
+        arena = FlatTensorArena.install(model)
+        name = arena.layout.names[0]
+        before = arena.params[name].copy()
+        arena.params_flat += 1.0
+        np.testing.assert_array_equal(arena.params[name], before + 1.0)
+        # The module's own registered arrays are the same memory.
+        first_param = next(iter(model.named_parameters()))[1]
+        assert first_param.base is not None
+
+    def test_install_is_idempotent(self):
+        model = get_workload("mlp_synthetic").build_model(0)
+        arena = FlatTensorArena.install(model)
+        assert FlatTensorArena.install(model) is arena
+
+    def test_parameters_and_gradients_return_arena_views(self):
+        model = get_workload("mlp_synthetic").build_model(0)
+        FlatTensorArena.install(model)
+        assert isinstance(model.parameters(), ArenaView)
+        assert isinstance(model.gradients(), ArenaView)
+        assert set(model.parameters()) == set(dict(model.named_parameters()))
+
+    def test_zero_grad_clears_whole_arena(self):
+        model = get_workload("mlp_synthetic").build_model(0)
+        arena = FlatTensorArena.install(model)
+        arena.grads_flat[...] = 3.0
+        model.zero_grad()
+        assert not arena.grads_flat.any()
+
+    def test_layout_is_canonical_sorted_order(self):
+        layout = FlatLayout({"b": np.zeros(3), "a": np.zeros((2, 2))})
+        assert layout.names == ("a", "b")
+        assert layout.total_size == 7
+        rng = np.random.default_rng(0)
+        flat = rng.standard_normal(7)
+        views = layout.views(flat)
+        np.testing.assert_array_equal(views["a"].ravel(), flat[:4])
+        np.testing.assert_array_equal(views["b"], flat[4:])
+
+    def test_layout_rejects_mixed_dtypes_and_empty(self):
+        with pytest.raises(ValueError, match="mixed dtypes"):
+            FlatLayout({"a": np.zeros(2), "b": np.zeros(2, dtype=np.float32)})
+        with pytest.raises(ValueError, match="non-empty"):
+            FlatLayout({})
+
+    def test_segment_dots_match_per_key_norms(self):
+        rng = np.random.default_rng(7)
+        template = {"w": rng.standard_normal((13, 5)), "b": rng.standard_normal(11)}
+        layout = FlatLayout(template)
+        flat = layout.pack(template)
+        norms = np.sqrt(layout.segment_dots(flat))
+        for i, name in enumerate(layout.names):
+            assert norms[i] == float(np.linalg.norm(template[name]))
+
+    def test_segment_sums_reduceat(self):
+        layout = FlatLayout({"a": np.zeros(3), "b": np.zeros(2)})
+        flat = np.array([1.0, 2.0, 3.0, 10.0, 20.0])
+        np.testing.assert_array_equal(layout.segment_sums(flat), [6.0, 30.0])
+
+    def test_spec_round_trip(self):
+        template = {"w": np.zeros((4, 3)), "b": np.zeros(3)}
+        layout = FlatLayout(template)
+        rebuilt = FlatLayout.from_spec(**layout.spec())
+        assert rebuilt == layout
