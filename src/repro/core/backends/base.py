@@ -23,10 +23,11 @@ Built-in backends:
     is tested against.
 
 ``fused``
-    :class:`~repro.core.backends.fused.FusedBackend` vectorizes waves whose
-    virtual nodes share identical (empty) stateful buffers into one stacked
-    forward/backward, reproducing the reference arithmetic bit-for-bit for
-    stateless workloads and falling back to the serial loop otherwise.
+    :class:`~repro.core.backends.fused.FusedBackend` vectorizes every wave
+    of a step — equal- or mixed-size, stateless or stateful (BatchNorm) —
+    into one segmented forward/backward, reproducing the reference
+    arithmetic bit-for-bit for all built-in workloads; only user-defined
+    modules without kernels fall back to the serial loop.
 """
 
 from __future__ import annotations
@@ -68,6 +69,13 @@ class TrainStep:
     gradients as contiguous rows and return the average as an arena view
     (one flat array) instead of a dict of fresh allocations; results are
     bit-identical either way.
+
+    ``state_layout`` is the shared :class:`~repro.framework.arena.FlatLayout`
+    over the per-virtual-node stateful buffers (None when the model carries
+    none).  The executor computes it once per state template so backends can
+    skip the per-wave ``state_dict`` round trip for stateless models and
+    pack/scatter stateful ones through one flat matrix; backends fall back to
+    deriving it from ``vn_states`` when a caller leaves it unset.
     """
 
     model: Module
@@ -80,6 +88,7 @@ class TrainStep:
     step: int
     augment: Optional[object] = None  # repro.data.augment.Transform
     arena: Optional[object] = None  # repro.framework.arena.FlatTensorArena
+    state_layout: Optional[object] = None  # repro.framework.arena.FlatLayout
 
 
 @dataclass(frozen=True)

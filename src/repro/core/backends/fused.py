@@ -1,22 +1,27 @@
-"""The fused execution backend: wave groups as single vectorized steps.
+"""The fused execution backend: every wave of a step as one vectorized pass.
 
 The reference executor pays for determinism with a strictly serial per-wave
 loop — one forward/backward, one full ``state_dict`` round-trip, and one
 deep gradient copy per virtual node.  :class:`FusedBackend` removes that
-cost for the common case:
+cost for the entire built-in workload zoo:
 
-* Waves whose virtual nodes share identical stateful buffers — stateless
-  models, where every node's state is empty forever — are grouped by shard
-  size and executed as **one** stacked forward/backward per group
+* All of a step's shards are concatenated along the batch axis in canonical
+  virtual-node order and executed as **one** segmented forward/backward
   (:mod:`repro.core.backends.vectorized`), with per-virtual-node gradient
-  contributions kept separate and reduced in canonical order.  The result
-  is bit-identical to the reference loop (see the vectorized module's
-  contract) while eliminating the per-wave ``state_dict`` load/save and the
-  per-wave gradient dict copies entirely.
-* Models with batch-coupled stateful kernels (BatchNorm) fall back to the
-  reference loop for training — fusing their waves would change semantics,
-  not just scheduling — but still vectorize inference, where statistics
-  come from frozen buffers.
+  contributions kept separate and reduced in canonical order.  Mixed-size
+  wave groups fuse the same way — the per-virtual-node segment table keeps
+  every reduction and GEMM on its reference shapes, so the result is
+  bit-identical to the reference loop (see the vectorized module's
+  contract) without fragmenting into one stacked run per shard size.
+* Stateful kernels (BatchNorm moving statistics) no longer force the serial
+  loop: the per-virtual-node states are packed into one ``(V, S)`` matrix
+  (:func:`repro.core.state.pack_states`), the run reads and updates them
+  through ``(V, ...)``-stacked views, and the updated rows are scattered
+  back to the virtual-node states afterwards — replacing V pairs of
+  ``state_dict()``/``load_state_dict()`` deep copies per step.
+* The reference loop survives only as the oracle equivalence tests assert
+  against, and as the fallback for user-defined modules with no vectorized
+  kernel; every built-in workload reports ``can_fuse(...) == True``.
 
 Fusing changes *host wall-clock* cost only: the simulated device schedule
 (waves, memory, step time) is a property of the mapping and is accounted by
@@ -26,7 +31,7 @@ the engine layer regardless of backend.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +49,7 @@ from repro.core.backends.vectorized import (
     vectorized_loss,
 )
 from repro.core.sharding import shard_indices
+from repro.core.state import packed_state_matrix, scatter_states, state_layout
 from repro.core.virtual_node import VirtualNodeSet
 from repro.framework.layers import Module
 from repro.utils.seeding import augment_rng, vn_rng
@@ -52,7 +58,8 @@ __all__ = ["FusedBackend"]
 
 
 class FusedBackend(ExecutionBackend):
-    """Vectorize equal-size wave groups; fall back to the serial oracle."""
+    """Vectorize whole wave groups; the serial oracle remains only as the
+    fallback for modules without kernels."""
 
     name = "fused"
 
@@ -62,92 +69,115 @@ class FusedBackend(ExecutionBackend):
         # per-model constant; memoize it (weakly, models outlive no executor).
         self._coverage: "weakref.WeakKeyDictionary[Module, Dict[type, bool]]" = (
             weakref.WeakKeyDictionary())
+        self._state_stack: Optional[np.ndarray] = None  # (V, S) pack scratch
 
     # -- training ------------------------------------------------------------
 
     def can_fuse(self, step: TrainStep) -> bool:
-        """Whether this step takes the vectorized path (exposed for tests)."""
+        """Whether this step takes the vectorized path (exposed for tests).
+
+        True for every built-in workload — including stateful (BatchNorm)
+        models and mixed-size wave groups; only user modules with no
+        registered kernel fall back to the serial reference loop.  A
+        stateful model whose step carries no per-node buffers (a
+        hand-constructed :class:`TrainStep`) also falls back: the stacked
+        state views the kernels need cannot be built, and the reference
+        loop then raises its usual loud KeyError for the missing buffers.
+        """
         per_loss = self._coverage.setdefault(step.model, {})
         loss_type = type(step.loss_fn)
         if loss_type not in per_loss:
             per_loss[loss_type] = supports_training(step.model, step.loss_fn)
-        return per_loss[loss_type] and not any(
-            state.buffers for state in step.vn_states)
+        if not per_loss[loss_type]:
+            return False
+        if "stateful" not in per_loss:
+            per_loss["stateful"] = any(m.buffers for m in step.model.modules())
+        if per_loss["stateful"]:
+            return step.state_layout is not None or any(
+                state.buffers for state in step.vn_states)
+        return True
+
+    def _packed_states(self, step: TrainStep):
+        """Pack per-node stateful buffers into one reused (V, S) matrix."""
+        layout = step.state_layout
+        if layout is None:
+            layout = state_layout(step.vn_states)
+        if layout is None:
+            return None, None
+        self._state_stack = packed_state_matrix(step.vn_states, layout,
+                                                self._state_stack)
+        return layout, self._state_stack
 
     def train_step(self, step: TrainStep) -> TrainStepOutput:
         if not self.can_fuse(step):
             return self._reference.train_step(step)
 
-        # Group virtual nodes by shard size (canonical order within groups);
-        # each group runs as one stacked forward/backward.
-        groups: Dict[int, List[int]] = {}
-        for node in step.vn_set:
-            groups.setdefault(node.batch_size, []).append(node.index)
+        # Concatenate shards along the batch axis in canonical virtual-node
+        # order; the segment table keeps each node's rows addressable.
+        nodes = list(step.vn_set)
+        xs: List[np.ndarray] = []
+        ys: List[np.ndarray] = []
+        segments: List[Tuple[int, int]] = []
+        start = 0
+        for node, (x_vn, y_vn) in zip(nodes, step.shards):
+            if step.augment is not None:
+                x_vn = step.augment.apply(
+                    x_vn, augment_rng(step.seed, step.epoch, step.step, node.index))
+            xs.append(x_vn)
+            ys.append(y_vn)
+            segments.append((start, start + len(x_vn)))
+            start += len(x_vn)
+        x_cat = np.concatenate(xs, axis=0)
+        y_cat = np.concatenate(ys, axis=0)
+        rngs = [vn_rng(step.seed, step.epoch, step.step, node.index)
+                for node in nodes]
 
-        group_grads: Dict[int, Dict[str, np.ndarray]] = {}
-        group_losses: Dict[int, List[float]] = {}
-        vn_loc: Dict[int, Tuple[int, int]] = {}  # vn index -> (size, stack pos)
-        keys: List[str] = []
-        for size, indices in groups.items():
-            xs: List[np.ndarray] = []
-            for i in indices:
-                x_vn = step.shards[i][0]
-                if step.augment is not None:
-                    x_vn = step.augment.apply(
-                        x_vn, augment_rng(step.seed, step.epoch, step.step, i))
-                xs.append(x_vn)
-            x_stack = np.stack(xs)
-            y_stack = np.stack([step.shards[i][1] for i in indices])
-            rngs = [vn_rng(step.seed, step.epoch, step.step, i) for i in indices]
-            run = VectorizedRun(len(indices), training=True, rngs=rngs)
-            logits = run.forward(step.model, x_stack)
-            losses, dloss = vectorized_loss(step.loss_fn, logits, y_stack)
-            run.backward(step.model, dloss)
-            group_grads[size] = run.param_grads
-            group_losses[size] = losses
-            if not keys:
-                keys = sorted(run.param_grads)
-            for pos, i in enumerate(indices):
-                vn_loc[i] = (size, pos)
+        # Stateful kernels: one packed matrix in, stacked views through the
+        # run, updated rows scattered back out — no per-wave dict round trip.
+        layout, state_matrix = self._packed_states(step)
+        state_views = None if layout is None else layout.stacked_views(state_matrix)
+
+        run = VectorizedRun(segments, training=True, rngs=rngs,
+                            state_views=state_views)
+        logits = run.forward(step.model, x_cat)
+        losses, dloss = vectorized_loss(step.loss_fn, run, logits, y_cat)
+        run.backward(step.model, dloss)
+
+        if layout is not None:
+            # Stateful kernels updated during the wave belong to each node.
+            scatter_states(state_matrix, layout, step.vn_states)
 
         # Segment reduction in canonical virtual-node order — the exact
         # arithmetic of sync.weighted_average, including its sorted key
-        # iteration (grad_norm later sums values in dict order).  With an
-        # arena installed, the averages land directly in one preallocated
-        # flat buffer (returned as an arena view) so the optimizer's fused
+        # iteration (grad_norm later sums values in dict order).  Scaling the
+        # (V, ...) stack row-wise and reducing over the stack axis (a
+        # sequential, in-order accumulation in NumPy) is bit-identical to the
+        # canonical loop — in one vector op per parameter.  With an arena
+        # installed, the averages land directly in one preallocated flat
+        # buffer (returned as an arena view) so the optimizer's fused
         # whole-arena update engages downstream; values are identical.
-        total = float(sum(float(node.batch_size) for node in step.vn_set))
+        total = float(sum(float(node.batch_size) for node in nodes))
+        scales = [float(node.batch_size) / total for node in nodes]
         if step.arena is not None:
             avg_flat = np.empty(step.arena.layout.total_size,
                                 dtype=step.arena.layout.dtype)
             avg: Grads = step.arena.view_of(avg_flat)
         else:
             avg = {}
-        if len(groups) == 1:
-            # Even split: every node carries the same weight, so scaling the
-            # whole stack and reducing over the stack axis (a sequential,
-            # in-order accumulation in NumPy) is bit-identical to the
-            # canonical loop — in one vector op per parameter.
-            (size,) = groups
-            scale = float(step.vn_set[0].batch_size) / total
-            for key in keys:
-                avg[key] = (scale * group_grads[size][key]).sum(axis=0, out=avg.get(key))
-        else:
-            for key in keys:
-                size0, pos0 = vn_loc[0]
-                acc = np.zeros_like(group_grads[size0][key][pos0])
-                for node in step.vn_set:
-                    size, pos = vn_loc[node.index]
-                    acc += (float(node.batch_size) / total) * group_grads[size][key][pos]
-                if step.arena is not None:
-                    avg[key][...] = acc
-                else:
-                    avg[key] = acc
+        uniform_scale = scales[0] if len(set(scales)) == 1 else None
+        scale_col = None if uniform_scale is not None else np.asarray(scales)
+        for key in sorted(run.param_grads):
+            stack = run.param_grads[key]
+            if uniform_scale is not None:
+                scaled = uniform_scale * stack
+            else:
+                scaled = stack * scale_col.reshape(
+                    (len(nodes),) + (1,) * (stack.ndim - 1))
+            avg[key] = scaled.sum(axis=0, out=avg.get(key))
 
         weighted_loss = 0.0
-        for node in step.vn_set:
-            size, pos = vn_loc[node.index]
-            weighted_loss += group_losses[size][pos] * node.batch_size
+        for node, loss_value in zip(nodes, losses):
+            weighted_loss += loss_value * node.batch_size
         return TrainStepOutput(avg_grads=avg, weighted_loss=weighted_loss)
 
     # -- inference -----------------------------------------------------------
@@ -155,16 +185,10 @@ class FusedBackend(ExecutionBackend):
     def infer(self, model: Module, vn_set: VirtualNodeSet, x: np.ndarray) -> np.ndarray:
         if not supports_inference(model):
             return self._reference.infer(model, vn_set, x)
-        bounds = shard_indices(vn_set, len(x))
-        groups: Dict[int, List[int]] = {}  # shard size -> shard positions
-        for idx, (start, end) in enumerate(bounds):
-            if end > start:
-                groups.setdefault(end - start, []).append(idx)
-        outputs: Dict[int, np.ndarray] = {}
-        for size, idxs in groups.items():
-            stack = np.stack([x[bounds[i][0]:bounds[i][1]] for i in idxs])
-            run = VectorizedRun(len(idxs), training=False)
-            logits = run.forward(model, stack)
-            for pos, i in enumerate(idxs):
-                outputs[i] = logits[pos]
-        return np.concatenate([outputs[i] for i in sorted(outputs)], axis=0)
+        # Non-empty shards tile the batch contiguously in canonical order, so
+        # the request batch already *is* the concatenated run input.
+        segments = [(start, end)
+                    for start, end in shard_indices(vn_set, len(x))
+                    if end > start]
+        run = VectorizedRun(segments, training=False)
+        return run.forward(model, x)

@@ -34,10 +34,28 @@ class ReferenceBackend(ExecutionBackend):
 
     name = "reference"
 
+    @staticmethod
+    def _is_stateful(step: TrainStep) -> bool:
+        """Whether this step must round-trip per-node stateful kernels.
+
+        Stateless models (the empty-buffer common case) skip the per-wave
+        ``state_dict()``/``load_state_dict()`` pair entirely — the reference
+        loop used to deep-copy empty-adjacent dicts once per wave.  A
+        stateful *model* never skips: if its step carries empty per-node
+        buffers, ``load_state_dict`` raises the same loud KeyError it always
+        did rather than silently sharing one running state across waves.
+        """
+        if step.state_layout is not None:
+            return True
+        if any(True for _ in step.model.named_buffers()):
+            return True
+        return any(state.buffers for state in step.vn_states)
+
     def train_step(self, step: TrainStep) -> TrainStepOutput:
         if step.arena is not None:
             return self._train_step_arena(step)
         model = step.model
+        stateful = self._is_stateful(step)
         contributions: List[Tuple[Dict[str, np.ndarray], float]] = []
         weighted_loss = 0.0
         # Physically, shards execute as per-device waves in parallel; since
@@ -45,7 +63,8 @@ class ReferenceBackend(ExecutionBackend):
         # canonical virtual-node order computes identical values.
         for node, (x_vn, y_vn) in zip(step.vn_set, step.shards):
             state = step.vn_states[node.index]
-            model.load_state_dict(state.buffers)
+            if stateful:
+                model.load_state_dict(state.buffers)
             if step.augment is not None:
                 x_vn = step.augment.apply(
                     x_vn, augment_rng(step.seed, step.epoch, step.step, node.index))
@@ -57,8 +76,9 @@ class ReferenceBackend(ExecutionBackend):
             grads = {k: v.copy() for k, v in model.gradients().items()}
             contributions.append((grads, float(node.batch_size)))
             weighted_loss += loss_value * node.batch_size
-            # Stateful kernels updated during the wave belong to this node.
-            state.buffers = model.state_dict()
+            if stateful:
+                # Stateful kernels updated during the wave belong to this node.
+                state.buffers = model.state_dict()
         return TrainStepOutput(
             avg_grads=weighted_average(contributions),
             weighted_loss=weighted_loss,
@@ -75,13 +95,15 @@ class ReferenceBackend(ExecutionBackend):
         """
         model = step.model
         arena = step.arena
+        stateful = self._is_stateful(step)
         num_nodes = step.vn_set.num_nodes
         stack = arena.grad_stack(num_nodes)
         weights = [0.0] * num_nodes
         weighted_loss = 0.0
         for node, (x_vn, y_vn) in zip(step.vn_set, step.shards):
             state = step.vn_states[node.index]
-            model.load_state_dict(state.buffers)
+            if stateful:
+                model.load_state_dict(state.buffers)
             if step.augment is not None:
                 x_vn = step.augment.apply(
                     x_vn, augment_rng(step.seed, step.epoch, step.step, node.index))
@@ -93,7 +115,8 @@ class ReferenceBackend(ExecutionBackend):
             stack[node.index] = arena.grads_flat  # one contiguous snapshot
             weights[node.index] = float(node.batch_size)
             weighted_loss += loss_value * node.batch_size
-            state.buffers = model.state_dict()
+            if stateful:
+                state.buffers = model.state_dict()
         avg_flat = weighted_average_flat(stack, weights, clobber=True)
         return TrainStepOutput(
             avg_grads=arena.view_of(avg_flat),

@@ -1,51 +1,69 @@
-"""Vectorized wave kernels: whole wave *groups* as one stacked tensor op.
+"""Vectorized wave kernels: whole wave *groups* as one segmented tensor op.
 
-The fused backend executes every equal-size wave of a step simultaneously by
-adding a leading stack axis: where the reference loop runs ``V`` forwards of
-shape ``(b, ...)``, these kernels run one forward of shape ``(V, b, ...)``.
+The fused backend executes every wave of a step simultaneously.  Shards are
+concatenated along the batch axis in canonical virtual-node order — where
+the reference loop runs ``V`` forwards of shape ``(b_i, ...)``, these
+kernels run one forward of shape ``(B, ...)`` with ``B = sum(b_i)`` and a
+per-virtual-node *segment table* ``[(start, end), ...]``.  Equal-size wave
+groups are the degenerate case where the segments are uniform and the
+concatenated batch reshapes (for free, as a view) into the classic
+``(V, b, ...)`` stack.
 
 Bit-exactness contract
 ----------------------
 The point of this module is not merely "numerically close" — it reproduces
 the reference wave loop *bit for bit*.  That constrains every kernel:
 
-* NumPy maps a matmul with a stack axis (``(V, b, in) @ (in, out)``) onto
-  one GEMM call **per stack slice** with the same shapes the reference uses,
-  so per-slice results are bit-identical.  Concatenating shards along the
-  batch axis instead (``(V*b, in)``) would change the GEMM's M dimension and
-  with it OpenBLAS's kernel choice — last-ulp differences.  Kernels
-  therefore always keep the stack axis separate.
-* Reductions keep the reference's axis geometry: a per-wave reduction over
-  axes ``(0, 1)`` of a ``(b, t, d)`` tensor becomes axes ``(1, 2)`` of the
-  ``(V, b, t, d)`` stack, which NumPy reduces with the identical
-  accumulation order per slice.
-* Per-virtual-node parameter gradients are kept separate (a ``(V, ...)``
-  stack per parameter) so the caller can reduce them in canonical virtual
-  node order with the exact §5.2 weighted-average arithmetic.
-* Randomness is drawn from one generator per virtual node in stack order, so
-  each node consumes exactly the dropout stream it would under the serial
-  loop.
+* **GEMM geometry is sacred.**  OpenBLAS picks kernels (and therefore
+  last-ulp rounding) by matrix shape, so any matmul whose M dimension
+  contains the batch must present the *reference's* per-virtual-node shape.
+  Uniform segments reshape to a ``(V, rows, K)`` stack — NumPy maps that
+  onto one GEMM per stack slice with exactly the reference shapes — and
+  mixed segments issue one GEMM per contiguous segment.  Matmuls that are
+  already per-example in the reference (``(b, t, K) @ (K, N)``, attention's
+  per-head products) concatenate freely: the per-slice shapes are unchanged.
+  (Folding the batch into one big-M GEMM was measured to differ in the last
+  ulp on OpenBLAS — see ``seg_matmul`` — hence the segment table.)
+* **Reductions keep the reference's axis geometry.**  A per-wave reduction
+  over a ``(b_i, ...)`` shard becomes a reduction over that shard's
+  contiguous row segment (identical memory layout, identical pairwise
+  summation tree), or — for uniform segments — a per-slice reduction over
+  the middle axes of the ``(V, b, ...)`` stack, which NumPy reduces with
+  the identical accumulation order per slice.
+* **Per-virtual-node parameter gradients are kept separate** (a
+  ``(V, ...)`` stack per parameter) so the caller can reduce them in
+  canonical virtual-node order with the exact §5.2 weighted-average
+  arithmetic.
+* **Stateful kernels see per-virtual-node state.**  BatchNorm's moving
+  statistics are handed to the run as ``(V, ...)``-stacked views over one
+  packed state matrix (:meth:`repro.framework.arena.FlatLayout.
+  stacked_views`); training-mode statistics are computed per segment —
+  exactly the shard statistics the serial loop computes — and the moving
+  averages update in place across all nodes in one vector op.
+* **Randomness** is drawn from one generator per virtual node in canonical
+  order, filling that node's row segment, so each node consumes exactly the
+  dropout stream it would under the serial loop.
 
 Coverage
 --------
-Forward (training + inference) and backward kernels exist for every layer
-without *batch-coupled* training behaviour: Dense, activations, Dropout,
-LayerNorm, Embedding, multi-head attention, transformer blocks, and the
-model containers.  BatchNorm's training pass computes statistics over the
-wave's batch — fusing waves would change its semantics, not just its
-schedule — so it has an inference (eval-mode) kernel only; models containing
-it fall back to the serial loop for training but still vectorize inference.
+Forward (training + inference) and backward kernels exist for **every**
+built-in layer, loss, and model container — Dense, activations, Dropout,
+LayerNorm, BatchNorm, Conv2D, the poolings, Embedding, multi-head
+attention, transformer blocks, and the model zoo.  BatchNorm computes its
+training statistics per virtual-node segment inside the stacked pass, so
+fusing changes its schedule, never its semantics.  The serial reference
+loop survives only as the oracle that equivalence tests assert against.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple, Type
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from repro.framework import layers as L
 from repro.framework import models as M
-from repro.framework.layers import Module, softmax, softmax_backward
+from repro.framework.layers import Module, col2im, im2col, softmax, softmax_backward
 from repro.framework.losses import Loss, MSELoss, SoftmaxCrossEntropy
 
 __all__ = [
@@ -61,8 +79,16 @@ class UnsupportedModule(TypeError):
     """A module (or loss) with no vectorized kernel."""
 
 
+_MISSING = object()  # negative-cache sentinel for _lookup
+
 _FWD: Dict[Type[Module], Callable] = {}
 _BWD: Dict[Type[Module], Callable] = {}
+# Module types whose kernels actually read/update stateful buffers.  A
+# module *carrying* buffers may only fuse when it is one of these — a user
+# subclass of a stateless layer that adds buffers would otherwise inherit
+# the stateless kernel via the MRO walk and have its buffer semantics
+# silently ignored.
+_STATEFUL_OK: Tuple[Type[Module], ...] = (L.BatchNorm,)
 
 
 def _fwd(*types: Type[Module]):
@@ -83,28 +109,47 @@ def _bwd(*types: Type[Module]):
 
 def _lookup(registry: Dict[Type[Module], Callable], cls: type) -> Optional[Callable]:
     fn = registry.get(cls)
+    if fn is _MISSING:
+        return None
     if fn is not None:
         return fn
-    for base in cls.__mro__:
-        if base in registry:
-            registry[cls] = registry[base]  # memoize the MRO walk
-            return registry[base]
+    for base in cls.__mro__[1:]:
+        fn = registry.get(base)
+        if fn is not None and fn is not _MISSING:
+            registry[cls] = fn  # memoize the MRO walk
+            return fn
+    registry[cls] = _MISSING  # memoize misses too: no per-call MRO rescans
     return None
 
 
 class VectorizedRun:
-    """One fused forward/backward over a stack of equal-size wave shards.
+    """One fused forward/backward over a segmented stack of wave shards.
 
-    The run owns all transient state (activation caches, per-node parameter
-    gradients) so the model instance itself is never mutated — its own
-    caches, gradients, and buffers are untouched.
+    ``segments`` are the per-virtual-node ``[start, end)`` row ranges of the
+    concatenated batch, in canonical virtual-node order.  The run owns all
+    transient state (activation caches, per-node parameter gradients) so the
+    model instance itself is never mutated — its own caches, gradients, and
+    buffers are untouched.  Per-virtual-node stateful buffers, when present,
+    arrive as ``state_views`` — ``name -> (V,) + shape`` arrays backed by
+    one packed state matrix that the caller round-trips to the virtual-node
+    states.
     """
 
-    def __init__(self, num_stacked: int, training: bool,
-                 rngs: Optional[List[np.random.Generator]] = None) -> None:
-        self.num_stacked = num_stacked
+    def __init__(self, segments: Sequence[Tuple[int, int]], training: bool,
+                 rngs: Optional[List[np.random.Generator]] = None,
+                 state_views: Optional[Dict[str, np.ndarray]] = None) -> None:
+        if not segments:
+            raise ValueError("a vectorized run needs at least one segment")
+        self.segments: List[Tuple[int, int]] = list(segments)
+        self.sizes: List[int] = [end - start for start, end in self.segments]
+        self.num_stacked = len(self.segments)
+        self.batch = self.segments[-1][1]
+        # Uniform segment size, or None when the wave group mixes sizes.
+        self.uniform: Optional[int] = (
+            self.sizes[0] if len(set(self.sizes)) == 1 else None)
         self.training = training
         self.rngs = rngs
+        self.state_views = state_views
         self._cache: Dict[str, Tuple] = {}
         # flat parameter name -> (V,) + param.shape per-virtual-node gradients
         self.param_grads: Dict[str, np.ndarray] = {}
@@ -145,45 +190,156 @@ class VectorizedRun:
         else:
             self.param_grads[name] = value
 
+    def state(self, name: str) -> np.ndarray:
+        """The ``(V,) + shape`` stacked view of one stateful buffer."""
+        if self.state_views is None:
+            raise UnsupportedModule(
+                f"stateful kernel needs per-virtual-node state views ({name!r})")
+        return self.state_views[name]
+
+    # -- segment-exact primitives ------------------------------------------
+    #
+    # Everything below reproduces a per-virtual-node operation of the serial
+    # loop over the concatenated batch without changing its floating-point
+    # shape: uniform segments take a free (V, rows, ...) reshape view and a
+    # per-slice vector op; mixed segments loop once per contiguous segment.
+
+    def seg_matmul(self, a: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Per-virtual-node GEMM ``a_i @ w`` with the reference M dimension.
+
+        ``a`` is ``(B, K)`` or ``(B, r, K)``; the reference multiplies each
+        node's ``(b_i * r, K)`` block, so M = b_i * r per GEMM.  Folding the
+        whole batch into one ``(B * r, K)`` GEMM changes M and with it
+        OpenBLAS's kernel choice — measured last-ulp differences — so the
+        stack/segment structure is preserved.
+        """
+        k = a.shape[-1]
+        mid = a.shape[1:-1]
+        if self.uniform is not None:
+            v = self.num_stacked
+            out = a.reshape(v, -1, k) @ w
+            return out.reshape(a.shape[:-1] + (w.shape[-1],))
+        out = np.empty(a.shape[:-1] + (w.shape[-1],),
+                       dtype=np.result_type(a, w))
+        for start, end in self.segments:
+            seg = a[start:end].reshape(-1, k) @ w
+            out[start:end] = seg.reshape((end - start,) + mid + (w.shape[-1],))
+        return out
+
+    def seg_outer(self, x: np.ndarray, g: np.ndarray) -> np.ndarray:
+        """Per-virtual-node ``x_i^T @ g_i`` weight-gradient stack ``(V, K, N)``.
+
+        Rows of ``x``/``g`` beyond the batch axis are flattened per node,
+        exactly like the reference's ``x.reshape(-1, K).T @ g.reshape(-1, N)``.
+        """
+        k, n = x.shape[-1], g.shape[-1]
+        if self.uniform is not None:
+            v = self.num_stacked
+            x3 = x.reshape(v, -1, k)
+            g3 = g.reshape(v, -1, n)
+            return x3.transpose(0, 2, 1) @ g3
+        out = np.empty((self.num_stacked, k, n), dtype=np.result_type(x, g))
+        for i, (start, end) in enumerate(self.segments):
+            out[i] = x[start:end].reshape(-1, k).T @ g[start:end].reshape(-1, n)
+        return out
+
+    def seg_sum(self, t: np.ndarray) -> np.ndarray:
+        """Per-virtual-node sum over all axes but the last: ``(V, C)``.
+
+        Each node's reduction runs over its contiguous row block — the same
+        memory layout and pairwise summation tree as the reference's
+        ``np.sum(t_i, axis=all-but-last)``.
+        """
+        if self.uniform is not None:
+            v = self.num_stacked
+            ts = t.reshape((v, self.uniform) + t.shape[1:])
+            return ts.sum(axis=tuple(range(1, ts.ndim - 1)))
+        out = np.empty((self.num_stacked, t.shape[-1]), dtype=t.dtype)
+        axes = tuple(range(t.ndim - 1))
+        for i, (start, end) in enumerate(self.segments):
+            out[i] = np.sum(t[start:end], axis=axes)
+        return out
+
+    def seg_mean_var(self, t: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-virtual-node mean and variance over all axes but the last."""
+        if self.uniform is not None:
+            v = self.num_stacked
+            ts = t.reshape((v, self.uniform) + t.shape[1:])
+            axes = tuple(range(1, ts.ndim - 1))
+            return ts.mean(axis=axes), ts.var(axis=axes)
+        mean = np.empty((self.num_stacked, t.shape[-1]), dtype=t.dtype)
+        var = np.empty_like(mean)
+        axes = tuple(range(t.ndim - 1))
+        for i, (start, end) in enumerate(self.segments):
+            mean[i] = t[start:end].mean(axis=axes)
+            var[i] = t[start:end].var(axis=axes)
+        return mean, var
+
+    def per_row(self, per_vn: np.ndarray, ndim: int) -> np.ndarray:
+        """Expand a ``(V, C)`` per-node array to ``(B, 1, ..., 1, C)`` rows.
+
+        Broadcasting the expanded array applies each node's value to its own
+        rows — elementwise, so bit-identical to the reference's per-wave
+        ``(C,)`` broadcast.
+        """
+        rows = np.repeat(per_vn, self.sizes, axis=0)
+        return rows.reshape((self.batch,) + (1,) * (ndim - 2) + per_vn.shape[1:])
+
+    def row_scale(self, per_vn: Sequence[float], ndim: int,
+                  dtype=np.float64) -> np.ndarray:
+        """Expand one scalar per node to a broadcastable per-row column."""
+        rows = np.repeat(np.asarray(per_vn, dtype=dtype), self.sizes)
+        return rows.reshape((self.batch,) + (1,) * (ndim - 1))
+
 
 def supports_training(model: Module, loss_fn: Loss) -> bool:
-    """True when every module has forward *and* backward kernels and the
-    model carries no stateful buffers (the batch-coupled BatchNorm case)."""
+    """True when every module has forward *and* backward kernels.
+
+    Stateful modules (BatchNorm) are fully covered: their per-virtual-node
+    buffers ride through the run as stacked state views, so carrying buffers
+    no longer forces the serial loop.  Modules that carry buffers a kernel
+    does not consume (user subclasses of stateless layers) still fall back
+    to the serial oracle — fusing them would silently freeze their state.
+    """
     if type(loss_fn) not in _LOSS:
         return False
     for module in model.modules():
-        if module.buffers:
-            return False
         if _lookup(_FWD, type(module)) is None or _lookup(_BWD, type(module)) is None:
+            return False
+        if module.buffers and not isinstance(module, _STATEFUL_OK):
             return False
     return True
 
 
 def supports_inference(model: Module) -> bool:
-    """True when every module has a (possibly eval-only) forward kernel."""
+    """True when every module has a forward kernel."""
     return all(_lookup(_FWD, type(m)) is not None for m in model.modules())
 
 
 # ---------------------------------------------------------------------------
-# Layer kernels.  Shapes are the reference shapes with a leading stack axis:
-# a per-wave (b, ...) tensor is processed as (V, b, ...).
+# Layer kernels.  Shapes are the reference shapes with the batch axis holding
+# the concatenated wave group: a per-wave (b_i, ...) tensor is rows
+# [start_i, end_i) of a (B, ...) tensor.
 # ---------------------------------------------------------------------------
 
 
 @_fwd(L.Dense)
 def _dense_fwd(m: L.Dense, run: VectorizedRun, prefix: str, x):
     run.put(prefix, x)
+    if x.ndim == 2:
+        # Batch in the GEMM's M dimension: keep per-node geometry.
+        return run.seg_matmul(x, m.params["w"]) + m.params["b"]
+    # (B, t, K) @ (K, N): already one GEMM per example, like the reference.
     return x @ m.params["w"] + m.params["b"]
 
 
 @_bwd(L.Dense)
 def _dense_bwd(m: L.Dense, run: VectorizedRun, prefix: str, grad):
     (x,) = run.get(prefix)
-    v = run.num_stacked
-    x2 = x.reshape(v, -1, m.in_dim)
-    g2 = grad.reshape(v, -1, m.out_dim)
-    run.add_grad(prefix + "w", x2.transpose(0, 2, 1) @ g2)
-    run.add_grad(prefix + "b", g2.sum(axis=1))
+    run.add_grad(prefix + "w", run.seg_outer(x, grad))
+    run.add_grad(prefix + "b", run.seg_sum(grad))
+    if grad.ndim == 2:
+        return run.seg_matmul(grad, m.params["w"].T)
     return grad @ m.params["w"].T
 
 
@@ -237,11 +393,11 @@ def _dropout_fwd(m: L.Dropout, run: VectorizedRun, prefix: str, x):
     if run.rngs is None:
         raise ValueError("Dropout requires per-virtual-node rngs during training")
     keep = 1.0 - m.rate
-    # One draw per virtual node, in stack order, so every node consumes the
-    # same stream it would under the serial loop.
+    # One draw per virtual node, filling that node's row segment in canonical
+    # order, so every node consumes the same stream it would serially.
     mask = np.empty_like(x)
-    for i, rng in enumerate(run.rngs):
-        mask[i] = (rng.random(x.shape[1:]) < keep) / keep
+    for (start, end), rng in zip(run.segments, run.rngs):
+        mask[start:end] = (rng.random((end - start,) + x.shape[1:]) < keep) / keep
     run.put(prefix, mask)
     return x * mask
 
@@ -257,7 +413,7 @@ def _dropout_bwd(m: L.Dropout, run: VectorizedRun, prefix: str, grad):
 @_fwd(L.Flatten)
 def _flatten_fwd(m: L.Flatten, run: VectorizedRun, prefix: str, x):
     run.put(prefix, x.shape)
-    return x.reshape(x.shape[0], x.shape[1], -1)
+    return x.reshape(x.shape[0], -1)
 
 
 @_bwd(L.Flatten)
@@ -279,17 +435,54 @@ def _layernorm_fwd(m: L.LayerNorm, run: VectorizedRun, prefix: str, x):
 @_bwd(L.LayerNorm)
 def _layernorm_bwd(m: L.LayerNorm, run: VectorizedRun, prefix: str, grad):
     x_hat, inv_std = run.get(prefix)
-    # Reference reduces over all axes but the last of (b, ...); with the
-    # stack axis prepended that is all axes but the first and last.
-    reduce_axes = tuple(range(1, grad.ndim - 1))
-    run.add_grad(prefix + "gamma", np.sum(grad * x_hat, axis=reduce_axes))
-    run.add_grad(prefix + "beta", np.sum(grad, axis=reduce_axes))
+    run.add_grad(prefix + "gamma", run.seg_sum(grad * x_hat))
+    run.add_grad(prefix + "beta", run.seg_sum(grad))
     g = grad * m.params["gamma"]
     n = m.dim
     return (
         inv_std / n * (n * g - np.sum(g, axis=-1, keepdims=True)
                        - x_hat * np.sum(g * x_hat, axis=-1, keepdims=True))
     )
+
+
+@_fwd(L.BatchNorm)
+def _batchnorm_fwd(m: L.BatchNorm, run: VectorizedRun, prefix: str, x):
+    if not run.training:
+        # Inference: statistics come from the model's frozen buffers, shared
+        # by every shard exactly like the reference eval loop.
+        mean = m.buffers["running_mean"]
+        var = m.buffers["running_var"]
+        inv_std = 1.0 / np.sqrt(var + m.eps)
+        return m.params["gamma"] * ((x - mean) * inv_std) + m.params["beta"]
+    # Training: per-virtual-node batch statistics over each node's own
+    # segment — the exact shard statistics of the serial wave — with the
+    # moving averages updated in place across all nodes at once.
+    mean, var = run.seg_mean_var(x)
+    mom = m.momentum
+    running_mean = run.state(prefix + "running_mean")
+    running_var = run.state(prefix + "running_var")
+    running_mean[...] = mom * running_mean + (1 - mom) * mean
+    running_var[...] = mom * running_var + (1 - mom) * var
+    inv_std = 1.0 / np.sqrt(var + m.eps)
+    x_hat = (x - run.per_row(mean, x.ndim)) * run.per_row(inv_std, x.ndim)
+    run.put(prefix, x_hat, inv_std)
+    return m.params["gamma"] * x_hat + m.params["beta"]
+
+
+@_bwd(L.BatchNorm)
+def _batchnorm_bwd(m: L.BatchNorm, run: VectorizedRun, prefix: str, grad):
+    x_hat, inv_std = run.get(prefix)
+    run.add_grad(prefix + "gamma", run.seg_sum(grad * x_hat))
+    run.add_grad(prefix + "beta", run.seg_sum(grad))
+    g = grad * m.params["gamma"]
+    # Per-node counts and statistic sums, broadcast back to each node's rows.
+    feature_rows = int(np.prod(grad.shape[1:-1], dtype=np.int64))
+    counts = [float(size * feature_rows) for size in run.sizes]
+    n = run.row_scale(counts, grad.ndim, dtype=grad.dtype)
+    sum_g = run.per_row(run.seg_sum(g), grad.ndim)
+    sum_gx = run.per_row(run.seg_sum(g * x_hat), grad.ndim)
+    inv = run.per_row(inv_std, grad.ndim)
+    return inv / n * (n * g - sum_g - x_hat * sum_gx)
 
 
 @_fwd(L.Embedding)
@@ -304,22 +497,22 @@ def _embedding_fwd(m: L.Embedding, run: VectorizedRun, prefix: str, tokens):
 @_bwd(L.Embedding)
 def _embedding_bwd(m: L.Embedding, run: VectorizedRun, prefix: str, grad):
     (tokens,) = run.get(prefix)
-    v = run.num_stacked
-    table_grads = np.zeros((v,) + m.params["table"].shape, dtype=grad.dtype)
-    for i in range(v):
-        np.add.at(table_grads[i], tokens[i], grad[i])
+    table_grads = np.zeros((run.num_stacked,) + m.params["table"].shape,
+                           dtype=grad.dtype)
+    for i, (start, end) in enumerate(run.segments):
+        np.add.at(table_grads[i], tokens[start:end], grad[start:end])
     run.add_grad(prefix + "table", table_grads)
     return np.zeros_like(grad)  # no gradient flows to integer inputs
 
 
 def _split_heads(m: L.MultiHeadSelfAttention, x: np.ndarray) -> np.ndarray:
-    v, b, t, _ = x.shape
-    return x.reshape(v, b, t, m.num_heads, m.head_dim).transpose(0, 1, 3, 2, 4)
+    b, t, _ = x.shape
+    return x.reshape(b, t, m.num_heads, m.head_dim).transpose(0, 2, 1, 3)
 
 
 def _merge_heads(x: np.ndarray) -> np.ndarray:
-    v, b, h, t, d = x.shape
-    return x.transpose(0, 1, 3, 2, 4).reshape(v, b, t, h * d)
+    b, h, t, d = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
 
 
 @_fwd(L.MultiHeadSelfAttention)
@@ -329,7 +522,7 @@ def _mhsa_fwd(m: L.MultiHeadSelfAttention, run: VectorizedRun, prefix: str, x):
     k = _split_heads(m, x @ p["wk"] + p["bk"])
     v = _split_heads(m, x @ p["wv"] + p["bv"])
     scale = 1.0 / np.sqrt(m.head_dim)
-    scores = (q @ k.transpose(0, 1, 2, 4, 3)) * scale
+    scores = (q @ k.transpose(0, 1, 3, 2)) * scale
     if m.causal:
         t = scores.shape[-1]
         mask = np.triu(np.ones((t, t), dtype=bool), k=1)
@@ -346,24 +539,21 @@ def _mhsa_fwd(m: L.MultiHeadSelfAttention, run: VectorizedRun, prefix: str, x):
 def _mhsa_bwd(m: L.MultiHeadSelfAttention, run: VectorizedRun, prefix: str, grad):
     x, q, k, v, attn, merged, scale = run.get(prefix)
     p = m.params
-    nv, b, t, d = x.shape
-    g2 = grad.reshape(nv, -1, d)
-    run.add_grad(prefix + "wo", merged.reshape(nv, -1, d).transpose(0, 2, 1) @ g2)
-    run.add_grad(prefix + "bo", g2.sum(axis=1))
+    run.add_grad(prefix + "wo", run.seg_outer(merged, grad))
+    run.add_grad(prefix + "bo", run.seg_sum(grad))
     d_merged = grad @ p["wo"].T
     d_ctx = _split_heads(m, d_merged)
-    d_attn = d_ctx @ v.transpose(0, 1, 2, 4, 3)
-    d_v = attn.transpose(0, 1, 2, 4, 3) @ d_ctx
+    d_attn = d_ctx @ v.transpose(0, 1, 3, 2)
+    d_v = attn.transpose(0, 1, 3, 2) @ d_ctx
     d_scores = softmax_backward(attn, d_attn) * scale
     d_q = d_scores @ k
-    d_k = d_scores.transpose(0, 1, 2, 4, 3) @ q
+    d_k = d_scores.transpose(0, 1, 3, 2) @ q
     dx = np.zeros_like(x)
-    x2 = x.reshape(nv, -1, d)
     for name, dproj in (("wq", d_q), ("wk", d_k), ("wv", d_v)):
-        dflat = _merge_heads(dproj).reshape(nv, -1, d)
-        run.add_grad(prefix + name, x2.transpose(0, 2, 1) @ dflat)
-        run.add_grad(prefix + "b" + name[1], dflat.sum(axis=1))
-        dx += dflat.reshape(nv, b, t, d) @ p[name].T
+        dflat = _merge_heads(dproj)
+        run.add_grad(prefix + name, run.seg_outer(x, dflat))
+        run.add_grad(prefix + "b" + name[1], run.seg_sum(dflat))
+        dx += dflat @ p[name].T
     return dx
 
 
@@ -423,83 +613,65 @@ def _block_bwd(m: L.TransformerBlock, run: VectorizedRun, prefix: str, grad):
     return grad + g1
 
 
-@_fwd(M.TinyBert)
-def _tinybert_fwd(m: M.TinyBert, run: VectorizedRun, prefix: str, tokens):
-    tokens = np.asarray(tokens)
-    v, b, t = tokens.shape
-    if t != m.seq_len:
-        raise ValueError(f"expected sequence length {m.seq_len}, got {t}")
-    positions = np.broadcast_to(np.arange(t), (v, b, t))
-    x = (run.forward(m.tok, tokens, prefix + "tok.")
-         + run.forward(m.pos, positions, prefix + "pos."))
-    for i, block in enumerate(m.blocks):
-        x = run.forward(block, x, f"{prefix}block{i}.")
-    run.put(prefix, tokens.shape)
-    pooled = x.mean(axis=2)
-    return run.forward(m.head, run.forward(m.pooler, pooled, prefix + "pooler."),
-                       prefix + "head.")
-
-
-@_bwd(M.TinyBert)
-def _tinybert_bwd(m: M.TinyBert, run: VectorizedRun, prefix: str, grad):
-    (tokens_shape,) = run.get(prefix)
-    v, b, t = tokens_shape
-    g = run.backward(m.pooler, run.backward(m.head, grad, prefix + "head."),
-                     prefix + "pooler.")
-    g = np.broadcast_to(g[:, :, None, :], (v, b, t, m.dim)) / t
-    g = np.ascontiguousarray(g)
-    for i, block in reversed(list(enumerate(m.blocks))):
-        g = run.backward(block, g, f"{prefix}block{i}.")
-    run.backward(m.pos, g, prefix + "pos.")
-    return run.backward(m.tok, g, prefix + "tok.")
-
-
-# -- inference-only kernels (batch-coupled or conv layers) -------------------
-
-
-@_fwd(L.BatchNorm)
-def _batchnorm_fwd(m: L.BatchNorm, run: VectorizedRun, prefix: str, x):
-    if run.training:
-        # Training-mode BatchNorm reduces over its wave's batch; fusing waves
-        # would change those statistics (semantics, not just scheduling).
-        raise UnsupportedModule("BatchNorm cannot be fused in training mode")
-    mean = m.buffers["running_mean"]
-    var = m.buffers["running_var"]
-    inv_std = 1.0 / np.sqrt(var + m.eps)
-    return m.params["gamma"] * ((x - mean) * inv_std) + m.params["beta"]
-
-
 @_fwd(L.Conv2D)
 def _conv2d_fwd(m: L.Conv2D, run: VectorizedRun, prefix: str, x):
     k = m.kernel_size
-    v, n, h, w, c = x.shape
-    if m.pad:
-        x = np.pad(x, ((0, 0), (0, 0), (m.pad, m.pad), (m.pad, m.pad), (0, 0)))
-    oh = (x.shape[2] - k) // m.stride + 1
-    ow = (x.shape[3] - k) // m.stride + 1
-    shape = (v, n, oh, ow, k, k, c)
-    strides = (x.strides[0], x.strides[1], x.strides[2] * m.stride,
-               x.strides[3] * m.stride, x.strides[2], x.strides[3], x.strides[4])
-    cols = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    cols = cols.reshape(v, n * oh * ow, k * k * c)
+    cols2, oh, ow = im2col(x, k, k, m.stride, m.pad)
+    cols = cols2.reshape(len(x), oh * ow, -1)  # (B, OH*OW, K*K*C) view
     w2 = m.params["w"].reshape(-1, m.out_channels)
-    out = cols @ w2 + m.params["b"]
-    return out.reshape(v, n, oh, ow, m.out_channels)
+    out = run.seg_matmul(cols, w2) + m.params["b"]
+    run.put(prefix, x.shape, cols, oh, ow)
+    return out.reshape(x.shape[0], oh, ow, m.out_channels)
+
+
+@_bwd(L.Conv2D)
+def _conv2d_bwd(m: L.Conv2D, run: VectorizedRun, prefix: str, grad):
+    x_shape, cols, oh, ow = run.get(prefix)
+    k = m.kernel_size
+    g3 = grad.reshape(x_shape[0], oh * ow, m.out_channels)
+    w2 = m.params["w"].reshape(-1, m.out_channels)
+    run.add_grad(
+        prefix + "w",
+        run.seg_outer(cols, g3).reshape((run.num_stacked,) + m.params["w"].shape))
+    run.add_grad(prefix + "b", run.seg_sum(g3))
+    dcols = run.seg_matmul(g3, w2.T)
+    return col2im(dcols.reshape(-1, dcols.shape[-1]), x_shape, k, k,
+                  m.stride, m.pad, oh, ow)
 
 
 @_fwd(L.MaxPool2D)
 def _maxpool_fwd(m: L.MaxPool2D, run: VectorizedRun, prefix: str, x):
     p = m.pool
-    v, n, h, w, c = x.shape
+    n, h, w, c = x.shape
     if h % p or w % p:
         raise ValueError(f"input spatial dims {(h, w)} not divisible by pool {p}")
-    xr = x.reshape(v, n, h // p, p, w // p, p, c)
-    return xr.max(axis=(3, 5))
+    xr = x.reshape(n, h // p, p, w // p, p, c)
+    out = xr.max(axis=(2, 4))
+    mask = xr == out[:, :, None, :, None, :]
+    run.put(prefix, mask, x.shape)
+    return out
+
+
+@_bwd(L.MaxPool2D)
+def _maxpool_bwd(m: L.MaxPool2D, run: VectorizedRun, prefix: str, grad):
+    mask, x_shape = run.get(prefix)
+    n, h, w, c = x_shape
+    counts = mask.sum(axis=(2, 4), keepdims=True)
+    g = grad[:, :, None, :, None, :] * mask / counts
+    return g.reshape(n, h, w, c)
 
 
 @_fwd(L.GlobalAvgPool2D)
 def _gap_fwd(m: L.GlobalAvgPool2D, run: VectorizedRun, prefix: str, x):
-    return x.mean(axis=(2, 3))
+    run.put(prefix, x.shape)
+    return x.mean(axis=(1, 2))
+
+
+@_bwd(L.GlobalAvgPool2D)
+def _gap_bwd(m: L.GlobalAvgPool2D, run: VectorizedRun, prefix: str, grad):
+    (shape,) = run.get(prefix)
+    n, h, w, c = shape
+    return np.broadcast_to(grad[:, None, None, :], shape) / (h * w)
 
 
 @_fwd(M.SmallCNN)
@@ -507,8 +679,44 @@ def _smallcnn_fwd(m: M.SmallCNN, run: VectorizedRun, prefix: str, x):
     return run.forward(m.body, x, prefix + "body.")
 
 
+@_bwd(M.SmallCNN)
+def _smallcnn_bwd(m: M.SmallCNN, run: VectorizedRun, prefix: str, grad):
+    return run.backward(m.body, grad, prefix + "body.")
+
+
+@_fwd(M.TinyBert)
+def _tinybert_fwd(m: M.TinyBert, run: VectorizedRun, prefix: str, tokens):
+    tokens = np.asarray(tokens)
+    b, t = tokens.shape
+    if t != m.seq_len:
+        raise ValueError(f"expected sequence length {m.seq_len}, got {t}")
+    positions = np.broadcast_to(np.arange(t), (b, t))
+    x = (run.forward(m.tok, tokens, prefix + "tok.")
+         + run.forward(m.pos, positions, prefix + "pos."))
+    for i, block in enumerate(m.blocks):
+        x = run.forward(block, x, f"{prefix}block{i}.")
+    run.put(prefix, tokens.shape)
+    pooled = x.mean(axis=1)
+    return run.forward(m.head, run.forward(m.pooler, pooled, prefix + "pooler."),
+                       prefix + "head.")
+
+
+@_bwd(M.TinyBert)
+def _tinybert_bwd(m: M.TinyBert, run: VectorizedRun, prefix: str, grad):
+    (tokens_shape,) = run.get(prefix)
+    b, t = tokens_shape
+    g = run.backward(m.pooler, run.backward(m.head, grad, prefix + "head."),
+                     prefix + "pooler.")
+    g = np.broadcast_to(g[:, None, :], (b, t, m.dim)) / t
+    g = np.ascontiguousarray(g)
+    for i, block in reversed(list(enumerate(m.blocks))):
+        g = run.backward(block, g, f"{prefix}block{i}.")
+    run.backward(m.pos, g, prefix + "pos.")
+    return run.backward(m.tok, g, prefix + "tok.")
+
+
 # ---------------------------------------------------------------------------
-# Loss kernels: per-virtual-node losses and loss gradients over the stack.
+# Loss kernels: per-virtual-node losses and loss gradients over the segments.
 # ---------------------------------------------------------------------------
 
 _LOSS: Dict[Type[Loss], Callable] = {}
@@ -522,47 +730,52 @@ def _loss(*types: Type[Loss]):
     return deco
 
 
-def vectorized_loss(loss_fn: Loss, outputs: np.ndarray, targets: np.ndarray,
-                    ) -> Tuple[List[float], np.ndarray]:
-    """Per-slice ``(losses, loss_gradients)`` for a stacked output tensor.
+def vectorized_loss(loss_fn: Loss, run: VectorizedRun, outputs: np.ndarray,
+                    targets: np.ndarray) -> Tuple[List[float], np.ndarray]:
+    """Per-virtual-node ``(losses, loss_gradients)`` for a segmented batch.
 
-    Each slice's loss and gradient is bit-identical to calling
-    ``loss_fn.forward``/``backward`` on that slice alone.
+    Each segment's loss and gradient is bit-identical to calling
+    ``loss_fn.forward``/``backward`` on that shard alone.
     """
     fn = _LOSS.get(type(loss_fn))
     if fn is None:
         raise UnsupportedModule(
             f"no vectorized loss kernel for {type(loss_fn).__name__}")
-    return fn(loss_fn, outputs, targets)
+    return fn(loss_fn, run, outputs, targets)
 
 
 @_loss(SoftmaxCrossEntropy)
-def _softmax_xent(loss_fn: SoftmaxCrossEntropy, logits, targets):
-    if logits.ndim != 3:
-        raise ValueError(f"expected (stack, batch, classes) logits, got {logits.shape}")
-    v, n, k = logits.shape
+def _softmax_xent(loss_fn: SoftmaxCrossEntropy, run: VectorizedRun, logits, targets):
+    if logits.ndim != 2:
+        raise ValueError(f"expected (batch, classes) logits, got {logits.shape}")
+    b, k = logits.shape
     targets = np.asarray(targets, dtype=np.int64)
-    if targets.shape != (v, n):
-        raise ValueError(f"targets shape {targets.shape} != {(v, n)}")
+    if targets.shape != (b,):
+        raise ValueError(f"targets shape {targets.shape} != {(b,)}")
     probs = softmax(logits, axis=-1)
     eps = loss_fn.label_smoothing
     onehot = np.zeros_like(probs)
-    onehot[np.arange(v)[:, None], np.arange(n)[None, :], targets] = 1.0
+    onehot[np.arange(b), targets] = 1.0
     soft = onehot * (1 - eps) + eps / k
     logp = np.log(np.clip(probs, 1e-12, None))
-    sums = (soft * logp).reshape(v, -1).sum(axis=1)
-    losses = [float(-sums[i] / n) for i in range(v)]
-    return losses, (probs - soft) / n
+    weighted = soft * logp
+    losses = [float(-weighted[start:end].sum() / (end - start))
+              for start, end in run.segments]
+    # Reference divides by the shard size; dividing by a per-row column with
+    # the same value is the identical elementwise operation.
+    n_rows = run.row_scale([float(s) for s in run.sizes], probs.ndim,
+                           dtype=probs.dtype)
+    return losses, (probs - soft) / n_rows
 
 
 @_loss(MSELoss)
-def _mse(loss_fn: MSELoss, outputs, targets):
+def _mse(loss_fn: MSELoss, run: VectorizedRun, outputs, targets):
     targets = np.asarray(targets, dtype=outputs.dtype)
     if targets.shape != outputs.shape:
         raise ValueError(f"shape mismatch: {outputs.shape} vs {targets.shape}")
-    v = outputs.shape[0]
     sq = (outputs - targets) ** 2
-    means = sq.reshape(v, -1).mean(axis=1)
-    per_slice_size = outputs[0].size
-    return ([float(means[i]) for i in range(v)],
-            2.0 * (outputs - targets) / per_slice_size)
+    losses = [float(np.mean(sq[start:end])) for start, end in run.segments]
+    per_example = int(np.prod(outputs.shape[1:], dtype=np.int64))
+    sizes = [float(s * per_example) for s in run.sizes]
+    n_rows = run.row_scale(sizes, outputs.ndim, dtype=outputs.dtype)
+    return losses, 2.0 * (outputs - targets) / n_rows

@@ -26,8 +26,8 @@ Execution strategy
 fused path — is delegated to an :class:`~repro.core.backends.ExecutionBackend`
 through the shared :class:`~repro.core.engine.VirtualNodeEngine`.  Backends
 may only change host wall-clock cost; the simulated device schedule and the
-numeric results are backend-independent (bit-exactly so for stateless
-workloads).
+numeric results are backend-independent (bit-exactly so for every built-in
+workload, stateful kernels included).
 """
 
 from __future__ import annotations
@@ -43,7 +43,12 @@ from repro.core.gradient_buffer import GradientBuffer
 from repro.core.mapping import Mapping
 from repro.core.plan import ExecutionPlan
 from repro.core.sharding import shard_batch
-from repro.core.state import VirtualNodeState, migrate_states, pack_states, state_layout
+from repro.core.state import (
+    VirtualNodeState,
+    migrate_states,
+    packed_state_matrix,
+    state_layout,
+)
 from repro.core.virtual_node import VirtualNodeSet
 from repro.framework.arena import FlatTensorArena
 from repro.framework.layers import Module
@@ -120,6 +125,10 @@ class VirtualFlowExecutor:
         ]
         self._eval_state: Optional[Dict[str, np.ndarray]] = None
         self._state_stack: Optional[np.ndarray] = None  # (V, S) merge scratch
+        # Shared flat layout over the stateful-kernel template (None when the
+        # model is stateless), computed once per state template and handed to
+        # backends so they can skip — or pack — the per-wave state round trip.
+        self._state_layout = state_layout(self._vn_states)
 
     # -- engine-delegated views ---------------------------------------------
 
@@ -159,6 +168,7 @@ class VirtualFlowExecutor:
     def vn_states(self, states: List[VirtualNodeState]) -> None:
         self._vn_states = states
         self._eval_state = None
+        self._state_layout = state_layout(states)
 
     # -- one step (Figure 5) ---------------------------------------------------
 
@@ -186,6 +196,7 @@ class VirtualFlowExecutor:
             step=step,
             augment=self.augment,
             arena=self.arena,
+            state_layout=self._state_layout,
         ))
         avg_grads = out.avg_grads
         # Step 5: every replica applies the same averaged gradients.
@@ -237,15 +248,13 @@ class VirtualFlowExecutor:
         """
         if self._eval_state is None:
             states = self._vn_states
-            layout = state_layout(states)
+            layout = self._state_layout
             if layout is None:
                 self._eval_state = {}
                 return self._eval_state
-            if self._state_stack is None or self._state_stack.shape != (
-                    len(states), layout.total_size):
-                self._state_stack = np.empty((len(states), layout.total_size),
-                                             dtype=layout.dtype)
-            stack = pack_states(states, layout, out=self._state_stack)
+            self._state_stack = packed_state_matrix(states, layout,
+                                                    self._state_stack)
+            stack = self._state_stack
             merged_flat = stack.sum(axis=0)
             merged_flat /= len(states)
             self._eval_state = layout.views(merged_flat)

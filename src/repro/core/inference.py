@@ -8,7 +8,8 @@ latency) or spread out (fewer waves, less latency) without changing results.
 :class:`InferenceEngine` is a thin driver over the shared
 :class:`~repro.core.engine.VirtualNodeEngine`: sharding and the numeric
 forward passes go through the selected execution backend (the ``fused``
-backend batches equal-size shards into one vectorized pass), and per-request
+backend runs all shards — equal- or mixed-size — as one segmented
+vectorized pass), and per-request
 latency accounting uses the engine's validated plan — the same plan/latency
 logic training uses, not a private reimplementation.
 """

@@ -30,7 +30,9 @@ __all__ = [
     "migration_time",
     "state_layout",
     "pack_states",
+    "packed_state_matrix",
     "unpack_states",
+    "scatter_states",
 ]
 
 Buffers = Dict[str, np.ndarray]
@@ -87,6 +89,22 @@ def pack_states(states: List[VirtualNodeState], layout: FlatLayout,
     return out
 
 
+def packed_state_matrix(states: List[VirtualNodeState], layout: FlatLayout,
+                        scratch: Optional[np.ndarray] = None) -> np.ndarray:
+    """Pack states into a reusable ``(num_nodes, state_size)`` scratch.
+
+    Reuses ``scratch`` when its shape and dtype still fit, reallocating
+    otherwise — the one hot-path caching pattern shared by the executor's
+    merged-eval-state view and the fused backend's state round trip.
+    Callers hold on to the returned matrix as next call's ``scratch``.
+    """
+    rows = len(states)
+    if (scratch is None or scratch.shape != (rows, layout.total_size)
+            or scratch.dtype != layout.dtype):
+        scratch = np.empty((rows, layout.total_size), dtype=layout.dtype)
+    return pack_states(states, layout, out=scratch)
+
+
 def unpack_states(matrix: np.ndarray, layout: FlatLayout) -> List[VirtualNodeState]:
     """Rebuild per-node states from a packed ``(num_nodes, state_size)`` matrix."""
     return [
@@ -94,6 +112,22 @@ def unpack_states(matrix: np.ndarray, layout: FlatLayout) -> List[VirtualNodeSta
                          buffers={k: v.copy() for k, v in layout.views(row).items()})
         for i, row in enumerate(matrix)
     ]
+
+
+def scatter_states(matrix: np.ndarray, layout: FlatLayout,
+                   states: List[VirtualNodeState]) -> None:
+    """Write a packed ``(num_nodes, state_size)`` matrix back into states.
+
+    Row ``i`` replaces ``states[i].buffers`` with fresh copies — the same
+    ownership semantics as the reference loop's per-wave
+    ``state.buffers = model.state_dict()``, but driven from the one matrix a
+    fused run updated in place.
+    """
+    if matrix.shape[0] != len(states):
+        raise ValueError(
+            f"{matrix.shape[0]} state rows for {len(states)} virtual nodes")
+    for state, row in zip(states, matrix):
+        state.buffers = {k: v.copy() for k, v in layout.views(row).items()}
 
 
 def migration_time(old_mapping: Mapping, new_mapping: Mapping, model_bytes: int,

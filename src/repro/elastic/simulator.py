@@ -55,7 +55,10 @@ class SimulationResult:
             return 0.0
         busy = 0.0
         history = self.allocation_history
-        for (t0, alloc), (t1, _) in zip(history, history[1:] + [(self.makespan, {})]):
+        # Walk adjacent snapshots by index — no `history[1:] + [...]` copy of
+        # the (potentially thousands-long) event list per call.
+        for i, (t0, alloc) in enumerate(history):
+            t1 = history[i + 1][0] if i + 1 < len(history) else self.makespan
             span = max(0.0, min(t1, self.makespan) - t0)
             busy += span * sum(alloc.values())
         return busy / (self.total_gpus * self.makespan)

@@ -135,6 +135,22 @@ class FlatLayout:
         return {name: flat[start:end].reshape(shape)
                 for name, (start, end, shape) in self._slices.items()}
 
+    def stacked_views(self, matrix: np.ndarray) -> Dict[str, np.ndarray]:
+        """Named ``(rows,) + shape`` views over a ``(rows, total_size)`` matrix.
+
+        Row ``i`` of every view aliases row ``i`` of the matrix, so writes
+        through a view update the packed matrix in place — the mechanism the
+        fused execution backend uses to hand per-virtual-node stateful
+        buffers to a stacked kernel without any per-node dict copies.
+        """
+        if matrix.ndim != 2 or matrix.shape[1] != self.total_size:
+            raise ValueError(
+                f"state matrix has shape {matrix.shape}, layout needs "
+                f"(rows, {self.total_size})")
+        rows = matrix.shape[0]
+        return {name: matrix[:, start:end].reshape((rows,) + shape)
+                for name, (start, end, shape) in self._slices.items()}
+
     def alloc(self, fill: Optional[float] = 0.0) -> np.ndarray:
         """Fresh flat buffer (zeroed by default; ``fill=None`` leaves it raw)."""
         if fill is None:

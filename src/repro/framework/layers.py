@@ -17,6 +17,7 @@ Shapes follow NHWC for images and (batch, seq, dim) for sequences.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -43,6 +44,8 @@ __all__ = [
     "Sequential",
     "softmax",
     "softmax_backward",
+    "im2col",
+    "col2im",
 ]
 
 
@@ -218,36 +221,57 @@ class Dense(Module):
         return grad @ self.params["w"].T
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> Tuple[np.ndarray, int, int]:
-    """Expand NHWC input into (N*OH*OW, KH*KW*C) patch rows."""
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> Tuple[np.ndarray, int, int]:
+    """Expand NHWC input into (N*OH*OW, KH*KW*C) patch rows.
+
+    Patch extraction is a read-only ``sliding_window_view``; the single copy
+    happens in the final reshape that materializes contiguous GEMM rows.
+    Exposed publicly (together with :func:`col2im`) so the vectorized
+    execution backend can run stacked wave groups through the exact same
+    patch geometry the serial layer uses.
+    """
     n, h, w, c = x.shape
     if pad:
         x = np.pad(x, ((0, 0), (pad, pad), (pad, pad), (0, 0)))
-    oh = (x.shape[1] - kh) // stride + 1
-    ow = (x.shape[2] - kw) // stride + 1
-    shape = (n, oh, ow, kh, kw, c)
-    strides = (
-        x.strides[0],
-        x.strides[1] * stride,
-        x.strides[2] * stride,
-        x.strides[1],
-        x.strides[2],
-        x.strides[3],
-    )
-    cols = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    # (n, oh_full, ow_full, c, kh, kw) with the window axes appended last.
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride]
+    oh, ow = windows.shape[1], windows.shape[2]
+    cols = windows.transpose(0, 1, 2, 4, 5, 3)  # -> (n, oh, ow, kh, kw, c)
     return cols.reshape(n * oh * ow, kh * kw * c), oh, ow
 
 
-def _col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int,
-            stride: int, pad: int, oh: int, ow: int) -> np.ndarray:
-    """Scatter (N*OH*OW, KH*KW*C) patch-row gradients back to NHWC."""
+@lru_cache(maxsize=128)
+def _col2im_plane_indices(c: int, hp: int, wp: int, oh: int, ow: int,
+                          kh: int, kw: int, stride: int) -> np.ndarray:
+    """Flat one-example (hp, wp, c) index of every (p, q, i, j, ch) patch
+    contribution.  Deliberately independent of the batch size — the cached
+    footprint is O(oh*ow*kh*kw*c), and the per-example offset is a cheap
+    broadcast add at call time."""
+    ys = stride * np.arange(oh)[:, None, None, None] + np.arange(kh)[None, None, :, None]
+    xs = stride * np.arange(ow)[None, :, None, None] + np.arange(kw)[None, None, None, :]
+    spatial = (ys * wp + xs).reshape(-1)  # (oh*ow*kh*kw,)
+    return (spatial[:, None] * c + np.arange(c)[None, :]).reshape(-1)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int,
+           stride: int, pad: int, oh: int, ow: int) -> np.ndarray:
+    """Scatter (N*OH*OW, KH*KW*C) patch-row gradients back to NHWC.
+
+    One vectorized scatter-add (``np.bincount`` over precomputed flat
+    indices) instead of a Python ``kh x kw`` slice loop.  Accumulation per
+    output cell follows the flattened (n, oh, ow, kh, kw, c) element order,
+    which only mixes contributions from the same example — so the result for
+    any contiguous row range equals running the scatter on that range alone
+    (the property the segmented wave kernels rely on).
+    """
     n, h, w, c = x_shape
     hp, wp = h + 2 * pad, w + 2 * pad
-    out = np.zeros((n, hp, wp, c), dtype=cols.dtype)
-    cols6 = cols.reshape(n, oh, ow, kh, kw, c)
-    for i in range(kh):
-        for j in range(kw):
-            out[:, i : i + stride * oh : stride, j : j + stride * ow : stride, :] += cols6[:, :, :, i, j, :]
+    plane = _col2im_plane_indices(c, hp, wp, oh, ow, kh, kw, stride)
+    offsets = np.arange(n, dtype=plane.dtype) * (hp * wp * c)
+    idx = (offsets[:, None] + plane[None, :]).reshape(-1)
+    out = np.bincount(idx, weights=cols.reshape(-1), minlength=n * hp * wp * c)
+    out = out.reshape(n, hp, wp, c).astype(cols.dtype, copy=False)
     if pad:
         out = out[:, pad : pad + h, pad : pad + w, :]
     return out
@@ -274,7 +298,7 @@ class Conv2D(Module):
 
     def forward(self, x, *, training=False, rng=None):
         k = self.kernel_size
-        cols, oh, ow = _im2col(x, k, k, self.stride, self.pad)
+        cols, oh, ow = im2col(x, k, k, self.stride, self.pad)
         w2 = self.params["w"].reshape(-1, self.out_channels)
         out = cols @ w2 + self.params["b"]
         self._cache = (x.shape, cols, oh, ow)
@@ -288,7 +312,7 @@ class Conv2D(Module):
         self.grads["w"] += (cols.T @ g2).reshape(self.params["w"].shape)
         self.grads["b"] += g2.sum(axis=0)
         dcols = g2 @ w2.T
-        return _col2im(dcols, x_shape, k, k, self.stride, self.pad, oh, ow)
+        return col2im(dcols, x_shape, k, k, self.stride, self.pad, oh, ow)
 
 
 class BatchNorm(Module):

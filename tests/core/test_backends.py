@@ -1,10 +1,11 @@
 """Execution backends: the fused path must match the reference oracle.
 
 The backend seam's contract is that backends change *how* waves execute on
-the host, never *what* they compute: for stateless workloads the fused
-backend is bit-identical to the canonical serial loop; for BatchNorm
-workloads it degrades to the same serial arithmetic (so it is exact there
-too, with the vectorized path reserved for inference).
+the host, never *what* they compute: for every built-in workload — stateless
+or stateful (Conv2D/BatchNorm), equal- or mixed-size wave groups, arena on
+or off — the fused backend takes the vectorized path and is bit-identical
+to the canonical serial loop, which survives only as the oracle these tests
+assert against.
 """
 
 from __future__ import annotations
@@ -34,6 +35,7 @@ from repro.hardware import Cluster
 
 
 STATELESS_WORKLOADS = ("mlp_synthetic", "bert_base_glue", "transformer_wmt")
+STATEFUL_WORKLOADS = ("resnet56_cifar10", "resnet50_imagenet")  # Conv2D + BatchNorm
 
 
 def _trainer(workload="mlp_synthetic", batch=32, vns=8, devices=1, seed=0,
@@ -125,22 +127,62 @@ class TestTrainingEquivalence:
             trainer.train_epoch()
         _assert_bit_identical(a, b)
 
-    def test_batchnorm_workload_matches_exactly(self):
-        """BatchNorm models fall back to serial waves -> still exact."""
-        a = _trainer(workload="resnet56_cifar10", batch=32, vns=4, devices=2,
-                     dataset_size=64, backend="reference")
-        b = _trainer(workload="resnet56_cifar10", batch=32, vns=4, devices=2,
-                     dataset_size=64, backend="fused")
+    @pytest.mark.parametrize("workload", STATEFUL_WORKLOADS)
+    @pytest.mark.parametrize("arena", [True, False])
+    def test_batchnorm_workload_bit_identical(self, workload, arena):
+        """Conv2D/BatchNorm waves vectorize in training — and stay exact."""
+        a = _trainer(workload=workload, batch=32, vns=4, devices=2,
+                     dataset_size=64, backend="reference", arena=arena)
+        b = _trainer(workload=workload, batch=32, vns=4, devices=2,
+                     dataset_size=64, backend="fused", arena=arena)
         a.train(epochs=2)
         b.train(epochs=2)
         _assert_bit_identical(a, b)
         for sa, sb in zip(a.executor.vn_states, b.executor.vn_states):
             assert sa.equals(sb)  # per-node stateful kernels match too
 
+    @pytest.mark.parametrize("workload", ("mlp_synthetic", "resnet56_cifar10"))
+    @pytest.mark.parametrize("arena", [True, False])
+    def test_bit_identical_mixed_size_waves(self, workload, arena):
+        """Mixed-size wave groups fuse as one segmented pass — still exact."""
+        sizes = [16, 8, 4, 4]
+        a = _trainer(workload=workload, batch=32, vns=4, vn_sizes=sizes,
+                     devices=2, dataset_size=64, backend="reference", arena=arena)
+        b = _trainer(workload=workload, batch=32, vns=4, vn_sizes=sizes,
+                     devices=2, dataset_size=64, backend="fused", arena=arena)
+        a.train(epochs=2)
+        b.train(epochs=2)
+        _assert_bit_identical(a, b)
+        for sa, sb in zip(a.executor.vn_states, b.executor.vn_states):
+            assert sa.equals(sb)
+
+    def test_stateful_resize_bit_identical(self):
+        """BatchNorm state follows virtual nodes through a fused resize."""
+        a = _trainer(workload="resnet56_cifar10", batch=32, vns=8, devices=4,
+                     dataset_size=64, backend="reference")
+        b = _trainer(workload="resnet56_cifar10", batch=32, vns=8, devices=4,
+                     dataset_size=64, backend="fused")
+        for trainer in (a, b):
+            trainer.train_epoch()
+            trainer.resize(2)
+            trainer.train_epoch()
+        _assert_bit_identical(a, b)
+        for sa, sb in zip(a.executor.vn_states, b.executor.vn_states):
+            assert sa.equals(sb)
+
     def test_fused_mapping_invariance(self):
         """The paper's core claim holds within the fused backend as well."""
         a = _trainer(devices=1, backend="fused")
         b = _trainer(devices=4, backend="fused")
+        a.train(epochs=2)
+        b.train(epochs=2)
+        _assert_bit_identical(a, b)
+
+    def test_fused_mapping_invariance_stateful(self):
+        a = _trainer(workload="resnet56_cifar10", devices=1, backend="fused",
+                     dataset_size=64)
+        b = _trainer(workload="resnet56_cifar10", devices=4, backend="fused",
+                     dataset_size=64)
         a.train(epochs=2)
         b.train(epochs=2)
         _assert_bit_identical(a, b)
@@ -162,23 +204,108 @@ class TestFusability:
             shards=shard_batch(vn_set, ds.x_train[:batch], ds.y_train[:batch]),
             seed=0, epoch=0, step=0)
 
-    def test_stateless_models_fuse(self):
+    def test_every_builtin_workload_fuses(self):
+        """can_fuse is True for the whole zoo — no training fallback left."""
         fused = FusedBackend()
-        for name in STATELESS_WORKLOADS:
+        for name in STATELESS_WORKLOADS + STATEFUL_WORKLOADS:
             assert fused.can_fuse(self._step(name)), name
 
-    def test_batchnorm_model_does_not_fuse(self):
+    def test_mixed_size_wave_group_fuses(self):
         fused = FusedBackend()
-        assert not fused.can_fuse(self._step("resnet56_cifar10"))
+        step = self._step("resnet56_cifar10")
+        # Mixed shard sizes no longer matter to fusability.
+        assert fused.can_fuse(step)
+
+    def test_fused_path_taken_not_fallback(self):
+        """The vectorized path really runs (the oracle loop is never hit)."""
+        fused = FusedBackend()
+
+        def _boom(step):
+            raise AssertionError("fused backend fell back to the serial loop")
+
+        fused._reference.train_step = _boom
+        for name in STATELESS_WORKLOADS + STATEFUL_WORKLOADS:
+            out = fused.train_step(self._step(name))
+            assert np.isfinite(out.weighted_loss)
+
+    def test_stateful_model_without_state_falls_back(self):
+        """A hand-built TrainStep with empty per-node buffers on a BatchNorm
+        model cannot supply stacked state views — it must take the serial
+        loop, which raises the same loud KeyError it always did (never a
+        silent cross-wave sharing of one running state)."""
+        from repro.core import VirtualNodeState
+
+        fused = FusedBackend()
+        step = self._step("resnet56_cifar10")
+        step.vn_states = [VirtualNodeState(i) for i in range(len(step.vn_states))]
+        assert not fused.can_fuse(step)
+        with pytest.raises(KeyError, match="missing buffer"):
+            fused.train_step(step)
+
+    def test_kernel_lookup_miss_cache_is_stable(self):
+        """Unsupported-module verdicts must not flip on repeated lookups
+        (the negative cache once leaked its sentinel through the MRO walk)."""
+        from repro.framework.layers import Module, Sequential
+
+        class NoKernel(Module):
+            def forward(self, x, *, training=False, rng=None):
+                return x
+
+            def backward(self, grad):
+                return grad
+
+        model = Sequential(NoKernel())
+        assert not supports_inference(model)
+        assert not supports_inference(model)  # second call: same verdict
+        assert not supports_training(model, SoftmaxCrossEntropy())
+        assert not supports_training(model, SoftmaxCrossEntropy())
+
+    def test_unknown_module_still_falls_back(self):
+        from repro.framework.layers import Module
+
+        class Mystery(Module):
+            def forward(self, x, *, training=False, rng=None):
+                return x
+
+            def backward(self, grad):
+                return grad
+
+        fused = FusedBackend()
+        step = self._step("mlp_synthetic")
+        step.model.add_child("mystery", Mystery())
+        assert not fused.can_fuse(step)
+
+    def test_stateless_subclass_with_buffers_falls_back(self):
+        """A user subclass that adds buffers to a stateless layer inherits
+        that layer's kernel via the MRO walk — fusing it would silently
+        ignore the buffer semantics, so it must take the serial loop."""
+        import numpy as np
+
+        from repro.framework.layers import Dense
+
+        class StatefulDense(Dense):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.buffers["x_mean"] = np.zeros(self.in_dim)
+
+            def forward(self, x, *, training=False, rng=None):
+                if training:
+                    self.buffers["x_mean"][...] = x.mean(axis=0)
+                return super().forward(x, training=training, rng=rng)
+
+        fused = FusedBackend()
+        step = self._step("mlp_synthetic")
+        rng = np.random.default_rng(0)
+        step.model.add_child("tap", StatefulDense(10, 10, rng))
+        assert not supports_training(step.model, SoftmaxCrossEntropy())
+        assert not fused.can_fuse(step)
 
     def test_kernel_coverage(self):
-        for name in STATELESS_WORKLOADS:
+        for name in STATELESS_WORKLOADS + STATEFUL_WORKLOADS:
             wl = get_workload(name)
-            assert supports_training(wl.build_model(0), SoftmaxCrossEntropy())
-        # CNNs vectorize inference (eval-mode BatchNorm) but not training.
-        cnn = get_workload("resnet56_cifar10").build_model(0)
-        assert supports_inference(cnn)
-        assert not supports_training(cnn, SoftmaxCrossEntropy())
+            model = wl.build_model(0)
+            assert supports_training(model, SoftmaxCrossEntropy()), name
+            assert supports_inference(model), name
 
 
 class TestInferenceEquivalence:
@@ -209,6 +336,63 @@ class TestInferenceEquivalence:
             a = ref.predict(ds.x_train[:n])
             b = fused.predict(ds.x_train[:n])
             np.testing.assert_array_equal(a.logits, b.logits)
+
+    @pytest.mark.parametrize("workload", ("mlp_synthetic", "resnet56_cifar10"))
+    def test_mixed_size_shards_bit_identical(self, workload):
+        """Mixed shard sizes run as one segmented pass, not per-size runs."""
+        wl = get_workload(workload)
+        vn_set = VirtualNodeSet.uneven([16, 8, 4, 4])
+        mapping = Mapping.even(vn_set, Cluster.homogeneous("V100", 2))
+        ds = make_dataset(wl.dataset, n=64, seed=0)
+        ref = InferenceEngine(wl, wl.build_model(0), mapping, backend="reference")
+        fused = InferenceEngine(wl, wl.build_model(0), mapping, backend="fused")
+        for n in (5, 13, 32):
+            a = ref.predict(ds.x_train[:n])
+            b = fused.predict(ds.x_train[:n])
+            np.testing.assert_array_equal(a.logits, b.logits)
+
+
+class TestCheckpointMidFusedRun:
+    def test_round_trip_resumes_fused_run_bit_exactly(self, tmp_path):
+        """Checkpoint mid-fused-run on a stateful workload, resume, compare.
+
+        The resumed fused run and an uninterrupted reference run must agree
+        bit-for-bit on parameters AND per-node stateful kernels — the packed
+        state round trip may not leak through the checkpoint format.
+        """
+        from repro.core import load_checkpoint, save_checkpoint
+        from repro.data.loader import BatchLoader
+
+        wl = get_workload("resnet56_cifar10")
+        ds = make_dataset(wl.dataset, n=64, seed=0)
+        loader = BatchLoader(ds, 32, seed=0)
+
+        def _run(trainer, epoch, start, stop):
+            for batch in loader.epoch(epoch):
+                if start <= batch.step < stop:
+                    trainer.executor.run_step(batch.x, batch.y, epoch, batch.step)
+
+        kwargs = dict(workload="resnet56_cifar10", batch=32, vns=4, devices=2,
+                      dataset_size=64)
+        fused = _trainer(backend="fused", **kwargs)
+        ref = _trainer(backend="reference", **kwargs)
+        _run(fused, 0, 0, 1)  # one fused step, then checkpoint mid-run
+        _run(ref, 0, 0, 1)
+        path = str(tmp_path / "mid_fused.npz")
+        save_checkpoint(fused.executor, path)
+
+        resumed = _trainer(backend="fused", **kwargs)
+        load_checkpoint(resumed.executor, path)
+        for trainer in (fused, resumed, ref):
+            _run(trainer, 0, 1, 2)
+
+        pf = fused.executor.model.parameters()
+        for other in (resumed, ref):
+            po = other.executor.model.parameters()
+            for key in pf:
+                np.testing.assert_array_equal(pf[key], po[key], err_msg=key)
+            for sa, sb in zip(fused.executor.vn_states, other.executor.vn_states):
+                assert sa.equals(sb)
 
 
 class TestEvalStateCache:

@@ -190,6 +190,24 @@ class TestArenaMechanics:
         with pytest.raises(ValueError, match="non-empty"):
             FlatLayout({})
 
+    def test_stacked_views_alias_the_matrix(self):
+        """(rows,)+shape views over a packed state matrix are true aliases."""
+        rng = np.random.default_rng(3)
+        template = {"running_mean": np.zeros(6), "running_var": np.ones(6)}
+        layout = FlatLayout(template)
+        matrix = rng.standard_normal((4, layout.total_size))
+        views = layout.stacked_views(matrix)
+        assert set(views) == {"running_mean", "running_var"}
+        for name in views:
+            assert views[name].shape == (4, 6)
+            assert views[name].base is not None  # no copies
+        # Writes through a view land in the matrix (and vice versa).
+        views["running_mean"][2] = 7.0
+        np.testing.assert_array_equal(
+            layout.views(matrix[2])["running_mean"], np.full(6, 7.0))
+        with pytest.raises(ValueError, match="state matrix"):
+            layout.stacked_views(matrix[:, :-1])
+
     def test_segment_dots_match_per_key_norms(self):
         rng = np.random.default_rng(7)
         template = {"w": rng.standard_normal((13, 5)), "b": rng.standard_normal(11)}
