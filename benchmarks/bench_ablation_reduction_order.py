@@ -11,7 +11,6 @@ grouped onto devices — exactly the mapping-dependence the design avoids.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from _common import report
 

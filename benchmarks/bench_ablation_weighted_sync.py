@@ -9,7 +9,6 @@ paper's 6-vs-2 worked example, at benchmark scale.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from _common import report
 from repro.core.sync import naive_average, weighted_average

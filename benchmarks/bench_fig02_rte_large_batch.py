@@ -13,7 +13,6 @@ reachable through virtual nodes on this device — converges far better.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from _common import report, save_series
 from repro import TrainerConfig, VirtualFlowTrainer

@@ -8,7 +8,6 @@ least as good as the hand-picked uneven one.
 
 from __future__ import annotations
 
-import pytest
 
 from _common import report
 from repro.hetero import HeterogeneousSolver, TypeAssignment

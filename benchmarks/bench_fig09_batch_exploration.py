@@ -7,7 +7,6 @@ the space to [4, 8, 16, 32, 64, 128], each with its own trajectory.
 
 from __future__ import annotations
 
-import pytest
 
 from _common import report, save_series
 from repro import TrainerConfig, VirtualFlowTrainer

@@ -13,9 +13,8 @@ with an uninterrupted run — VirtualFlow makes them bit-identical.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from _common import report, save_series
+from _common import report
 from repro import TrainerConfig, VirtualFlowTrainer
 from repro.elastic import (
     ClusterSimulator,

@@ -9,7 +9,6 @@ delay by 99.3%.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from _common import report, save_series
 from repro.elastic import (

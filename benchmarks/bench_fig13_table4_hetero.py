@@ -17,7 +17,6 @@ homogeneous ones (asserted in the miniature training check below).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from _common import report
 from repro import TrainerConfig, VirtualFlowTrainer

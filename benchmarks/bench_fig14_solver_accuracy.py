@@ -9,12 +9,11 @@ noisy offline profiles, so the gap is the profiling error.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from _common import report
 from repro.core import ExecutionPlan
 from repro.framework import get_workload
-from repro.hetero import HeteroAssignment, HeterogeneousSolver, TypeAssignment, materialize
+from repro.hetero import HeterogeneousSolver, TypeAssignment, materialize
 from repro.profiler import OfflineProfiler
 
 TABLE4 = {

@@ -9,7 +9,6 @@ idle P100s on top of its 16 K80s (+33.7% throughput).
 
 from __future__ import annotations
 
-import pytest
 
 from _common import report, save_series
 from repro.elastic.trace import generate_trace

@@ -19,7 +19,6 @@ import os
 import time
 
 import numpy as np
-import pytest
 
 from _common import report
 from repro.core import TrainerConfig, VirtualFlowTrainer

@@ -8,7 +8,6 @@ batch sizes on this GPU: ResNet-50 192, Transformer 3072, BERT-LARGE 4.
 
 from __future__ import annotations
 
-import pytest
 
 from _common import report
 from repro.framework import get_workload

@@ -1,0 +1,228 @@
+"""Serving SLO frontier: fixed virtual-node mappings vs. elastic autoscaling.
+
+An online serving deployment is provisioned against a *budget* (devices it
+may hold on average) and judged against a *tail SLO* (p99 latency).  This
+benchmark sweeps open-loop Poisson arrival rates — each trace carrying a 4x
+load spike — through the request router of :mod:`repro.serving` under two
+policies on the same 8-device pool:
+
+* **fixed** mappings that fit the budget statically (1, 2, or 4 devices,
+  with the full 8-device pool shown as an over-budget reference), and
+* the **autoscaled** mapping, which rides the base load inside the budget
+  and bursts to the full pool during the spike.
+
+The frontier is the highest swept arrival rate a policy serves with whole-
+run p99 inside the SLO.  The autoscaled mapping must clear the best
+budget-fitting fixed mapping *strictly* — that is the paper's elasticity
+story applied to serving: capacity is a pure mapping change, so riding a
+spike needs no standing over-provisioning.  Everything here is simulated
+time, deterministic in the seed; the numeric forwards are real, and one
+autoscaled run is audited batch-by-batch for bit-identity against one-shot
+:class:`~repro.core.inference.InferenceEngine` batches.
+
+Results persist as ``results/serving_slo.txt`` (table) and
+``results/BENCH_serving_slo.json`` (machine-readable record — see the
+``BENCH_*.json`` convention in ``_common.py``).  ``--smoke`` runs one tiny
+rate with no gate, for CI breakage detection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from collections import defaultdict
+from typing import Dict, List
+
+import numpy as np
+
+from _common import report, save_bench_json
+from repro.core import InferenceEngine, Mapping, VirtualNodeSet
+from repro.data import make_dataset
+from repro.elastic import spike_phases
+from repro.framework import get_workload
+from repro.hardware import Cluster
+from repro.serving import serve_workload
+
+WORKLOAD = "mlp_synthetic"
+POOL = 8                 # devices in the pool
+BUDGET = POOL // 2       # devices a static deployment may hold
+SLO_P99 = 0.035          # seconds
+MAX_BATCH = 16
+MAX_WAIT = 0.002
+SPIKE = 4.0
+SEED = 1
+
+RATES = (400, 600, 800, 1000, 1200, 1400, 1600)
+FIXED = (1, 2, 4, 8)     # 8 is the over-budget reference line
+SMOKE_RATES = (300,)
+
+# The average allocation an autoscaled run may hold and still count as
+# budget-fitting; the slack covers the spike burst amortized over the trace.
+BUDGET_SLACK = 1.2
+
+
+def _phases(rate: float, smoke: bool):
+    if smoke:
+        return spike_phases(rate, SPIKE, base_duration=1.0, spike_duration=0.5)
+    return spike_phases(rate, SPIKE, base_duration=6.0, spike_duration=1.5)
+
+
+def _run_policy(rate: float, policy: str, smoke: bool,
+                collect_logits: bool = False):
+    kwargs = dict(max_batch=MAX_BATCH, max_wait=MAX_WAIT, pool_devices=POOL,
+                  seed=SEED, collect_logits=collect_logits)
+    if policy == "autoscaled":
+        kwargs.update(autoscale=True, slo_p99=SLO_P99,
+                      initial_devices=BUDGET)
+    else:
+        kwargs.update(initial_devices=int(policy.removeprefix("fixed-")))
+    return serve_workload(WORKLOAD, _phases(rate, smoke), **kwargs)
+
+
+def _verify_bit_identity(serving_report) -> int:
+    """Every dispatched micro-batch must equal a one-shot engine batch.
+
+    Returns the number of batches audited.  The one-shot engine keeps the
+    serving job's virtual-node set (the semantic contract results attach to)
+    but runs it on a deliberately different mapping — predictions are
+    mapping-invariant, so this checks the whole serving path end to end.
+    """
+    workload = get_workload(WORKLOAD)
+    bank = make_dataset(workload.dataset, n=512, seed=SEED).x_val
+    oneshot = InferenceEngine(
+        workload, workload.build_model(SEED),
+        Mapping.even(VirtualNodeSet.even(POOL, POOL),
+                     Cluster.homogeneous("V100", 1)))
+    by_batch = defaultdict(list)
+    for record in serving_report.records:
+        by_batch[record.batch_id].append(record)
+    for records in by_batch.values():
+        x = np.stack([bank[r.request_id % len(bank)] for r in records])
+        expected = oneshot.predict(x).logits
+        got = np.stack([serving_report.logits[r.request_id] for r in records])
+        np.testing.assert_array_equal(got, expected)
+    return len(by_batch)
+
+
+def run(smoke: bool = False) -> Dict:
+    rates = SMOKE_RATES if smoke else RATES
+    policies = ["fixed-2", "autoscaled"] if smoke else (
+        [f"fixed-{k}" for k in FIXED] + ["autoscaled"])
+    results: Dict[str, List[Dict]] = {p: [] for p in policies}
+    rows: List[List[str]] = []
+    audited = 0
+    for rate in rates:
+        for policy in policies:
+            # Audit one mid-sweep autoscaled run batch-by-batch.
+            audit = policy == "autoscaled" and (smoke or rate == rates[len(rates) // 2])
+            rep = _run_policy(rate, policy, smoke, collect_logits=audit)
+            if audit:
+                audited = _verify_bit_identity(rep)
+            summary = rep.summary(slo_p99=SLO_P99)
+            meets = bool(summary["meets_slo"])
+            results[policy].append({
+                "rate": rate,
+                "p99_ms": summary["latency_p99_ms"],
+                "p50_ms": summary["latency_p50_ms"],
+                "avg_devices": summary["avg_devices"],
+                "remaps": int(summary["remaps"]),
+                "meets_slo": meets,
+            })
+            rows.append([
+                rate, policy, f"{summary['latency_p50_ms']:.1f}",
+                f"{summary['latency_p99_ms']:.1f}",
+                f"{summary['avg_devices']:.2f}", int(summary["remaps"]),
+                "yes" if meets else "NO",
+            ])
+
+    def frontier(policy: str) -> int:
+        """Highest sustained rate: every swept rate up to it meets the SLO."""
+        best = 0
+        for entry in results[policy]:
+            if not entry["meets_slo"]:
+                break
+            best = entry["rate"]
+        return best
+
+    frontiers = {p: frontier(p) for p in policies}
+    budget_fixed = [p for p in policies
+                    if p.startswith("fixed-")
+                    and int(p.removeprefix("fixed-")) <= BUDGET]
+    best_fixed = max((frontiers[p] for p in budget_fixed), default=0)
+    headline = (frontiers.get("autoscaled", 0) / best_fixed
+                if best_fixed else float("inf"))
+
+    report("serving_slo",
+           ["rate (req/s)", "policy", "p50 ms", "p99 ms", "avg devices",
+            "remaps", f"p99<={SLO_P99*1e3:.0f}ms"],
+           rows,
+           title=f"Serving SLO frontier: {WORKLOAD} on a pool of {POOL} "
+                 f"V100s with a {SPIKE:.0f}x load spike "
+                 f"(budget {BUDGET} devices, seed {SEED})",
+           notes=f"frontiers: " + ", ".join(
+               f"{p}={frontiers[p]}" for p in policies)
+               + f"; autoscaled must beat the best fixed-under-budget "
+                 f"mapping ({best_fixed} req/s) strictly")
+    payload = {
+        "smoke": smoke,
+        "workload": WORKLOAD,
+        "pool_devices": POOL,
+        "budget_devices": BUDGET,
+        "budget_slack": BUDGET_SLACK,
+        "slo_p99_ms": SLO_P99 * 1e3,
+        "spike_factor": SPIKE,
+        "seed": SEED,
+        "rates": list(rates),
+        "results": results,
+        "frontiers": frontiers,
+        "best_fixed_under_budget": best_fixed,
+        "bit_identity_batches_audited": audited,
+        "speedup": headline,  # frontier ratio: autoscaled vs best fixed
+    }
+    path = save_bench_json("serving_slo", payload)
+    print(f"wrote {os.path.relpath(path, os.getcwd())}")
+    return payload
+
+
+def test_serving_slo_frontier():
+    """The autoscaled mapping must beat every budget-fitting fixed mapping.
+
+    All quantities are simulated time — deterministic in the pinned seed —
+    so unlike the wall-clock gates this one has no noise tolerance.
+    """
+    payload = run(smoke=False)
+    frontiers = payload["frontiers"]
+    best_fixed = payload["best_fixed_under_budget"]
+    assert best_fixed > 0, "no fixed mapping met the SLO at any swept rate"
+    assert frontiers["autoscaled"] > best_fixed, (
+        f"autoscaled frontier {frontiers['autoscaled']} req/s does not beat "
+        f"the best fixed-under-budget mapping ({best_fixed} req/s)")
+    # The autoscaled run must fit the budget on average at every rate it
+    # serves within SLO — bursting is free only because it is brief.
+    for entry in payload["results"]["autoscaled"]:
+        if entry["rate"] <= frontiers["autoscaled"]:
+            assert entry["avg_devices"] <= payload["budget_devices"] * payload["budget_slack"], (
+                f"autoscaled run at {entry['rate']} req/s held "
+                f"{entry['avg_devices']:.2f} devices on average")
+    # The spike must actually exercise elasticity, and every audited batch
+    # must be bit-identical to a one-shot inference batch.
+    assert any(entry["remaps"] > 0 for entry in payload["results"]["autoscaled"])
+    assert payload["bit_identity_batches_audited"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny config, no frontier gate (CI breakage check)")
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke)
+    if not args.smoke and payload["frontiers"]["autoscaled"] <= payload["best_fixed_under_budget"]:
+        print("WARNING: autoscaled frontier did not beat the best fixed "
+              "mapping", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

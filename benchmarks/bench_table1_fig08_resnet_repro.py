@@ -14,8 +14,6 @@ small ones.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from _common import report, save_series
 from repro import TrainerConfig, VirtualFlowTrainer

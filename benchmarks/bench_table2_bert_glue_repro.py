@@ -9,7 +9,6 @@ bit-exact across rows — stronger than the paper's +/-0.2%.
 
 from __future__ import annotations
 
-import pytest
 
 from _common import report
 from repro import TrainerConfig, VirtualFlowTrainer

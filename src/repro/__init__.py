@@ -45,7 +45,14 @@ from repro.core import (
     restore_device,
     save_checkpoint,
 )
-from repro.telemetry import TelemetryRecorder
+from repro.serving import (
+    LatencyAutoscaler,
+    MicroBatchPolicy,
+    RequestRouter,
+    ServingReport,
+    serve_workload,
+)
+from repro.telemetry import LatencyHistogram, TelemetryRecorder
 from repro.data import Dataset, make_dataset
 from repro.framework import WORKLOADS, Workload, get_workload
 from repro.hardware import (
@@ -75,10 +82,15 @@ __all__ = [
     "InferenceEngine",
     "InferenceResult",
     "Interconnect",
+    "LatencyAutoscaler",
+    "LatencyHistogram",
     "Mapping",
+    "MicroBatchPolicy",
     "OutOfDeviceMemory",
     "PerfModel",
     "PlanValidationError",
+    "RequestRouter",
+    "ServingReport",
     "StepResult",
     "TelemetryRecorder",
     "TrainerConfig",
@@ -100,4 +112,5 @@ __all__ = [
     "register_backend",
     "restore_device",
     "save_checkpoint",
+    "serve_workload",
 ]

@@ -14,14 +14,11 @@ virtual node per device, batch size coupled to hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
-from repro.core.mapping import Mapping
-from repro.core.trainer import EpochResult, TrainerConfig, VirtualFlowTrainer
-from repro.core.virtual_node import VirtualNodeSet
+from repro.core.trainer import TrainerConfig, VirtualFlowTrainer
 from repro.data.datasets import Dataset
 from repro.framework.models import get_workload
-from repro.hardware.cluster import Cluster
 from repro.hardware.device import get_spec
 
 __all__ = ["TFStarConfig", "TFStarTrainer"]

@@ -6,6 +6,9 @@ Commands mirror the library's main entry points:
   optional mid-training resizes;
 * ``infer``    — serve inference batches under virtual node processing and
   report per-request latency;
+* ``serve``    — online serving: admit a Poisson request stream, coalesce
+  micro-batches, and (optionally) autoscale the virtual-node→device
+  mapping against a p99 SLO;
 * ``plan``     — show the execution plan (waves, memory, predicted step
   time) for a configuration without training;
 * ``profile``  — run the offline profiler for a workload across device
@@ -20,7 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core import (
     ExecutionPlan,
@@ -35,16 +38,19 @@ from repro.data import make_dataset
 from repro.elastic import (
     ClusterSimulator,
     ElasticWFSScheduler,
+    ServingPhase,
     StaticPriorityScheduler,
     compute_metrics,
     generate_trace,
+    spike_phases,
 )
 from repro.framework import WORKLOADS, get_workload
 from repro.hardware import Cluster
 from repro.hetero import HeterogeneousSolver
 from repro.profiler import OfflineProfiler
 from repro.sched import GavelSimulator
-from repro.utils import format_bytes, format_duration, format_table
+from repro.serving import serve_workload
+from repro.utils import format_duration, format_table
 
 __all__ = ["main", "build_parser"]
 
@@ -62,6 +68,32 @@ def _parse_device_counts(text: str) -> Dict[str, int]:
         except ValueError:
             raise argparse.ArgumentTypeError(f"bad count in {part!r}") from None
     return counts
+
+
+def _bounded(cast, minimum, exclusive: bool = True):
+    """Argparse type factory: a number with a lower bound.
+
+    Domain errors on flag values should be usage errors, not tracebacks
+    from deep inside the serving stack.
+    """
+    def parse(text: str):
+        try:
+            value = cast(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected a number, got {text!r}") from None
+        if value < minimum or (exclusive and value == minimum):
+            op = ">" if exclusive else ">="
+            raise argparse.ArgumentTypeError(f"must be {op} {minimum}, got {value}")
+        return value
+    parse.__name__ = cast.__name__  # argparse error messages name the type
+    return parse
+
+
+_positive_float = _bounded(float, 0.0)
+_nonnegative_float = _bounded(float, 0.0, exclusive=False)
+_spike_factor = _bounded(float, 1.0, exclusive=False)
+_positive_int = _bounded(int, 0)
 
 
 def _parse_resize(text: str):
@@ -114,6 +146,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of request batches to serve")
     infer.add_argument("--seed", type=int, default=0)
     infer.add_argument("--backend", choices=backend_names(), default="reference")
+
+    serve = sub.add_parser(
+        "serve", help="online serving with micro-batching and autoscaling")
+    serve.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    serve.add_argument("--arrival-rate", type=_positive_float, required=True,
+                       help="base request arrivals per second (open-loop Poisson)")
+    serve.add_argument("--duration", type=_positive_float, default=8.0,
+                       help="seconds of base load (split around the spike)")
+    serve.add_argument("--spike-factor", type=_spike_factor, default=1.0,
+                       help="multiply the rate by this for a mid-trace spike "
+                            "(1 = steady load)")
+    serve.add_argument("--spike-duration", type=_positive_float, default=2.0,
+                       help="seconds the spike lasts")
+    serve.add_argument("--max-batch", type=_positive_int, default=16,
+                       help="micro-batch coalescing cap")
+    serve.add_argument("--max-wait", type=_nonnegative_float, default=2.0,
+                       help="micro-batch wait budget, milliseconds")
+    serve.add_argument("--devices", type=_positive_int, default=4,
+                       help="device pool size")
+    serve.add_argument("--device-type", default="V100")
+    serve.add_argument("--virtual-nodes", type=_positive_int, default=None,
+                       help="virtual nodes for the serving job "
+                            "(default: pool size)")
+    serve.add_argument("--initial-devices", type=_positive_int, default=None,
+                       help="starting allocation (default: the full pool, or "
+                            "1 with --autoscale)")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="remap the virtual-node mapping against the SLO")
+    serve.add_argument("--slo-p99", type=_positive_float, default=50.0,
+                       help="p99 latency objective, milliseconds")
+    serve.add_argument("--requests", type=_positive_int, default=None,
+                       help="cap on admitted requests")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--backend", choices=backend_names(), default="reference")
 
     plan = sub.add_parser("plan", help="show the execution plan for a config")
     plan.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
@@ -202,6 +268,54 @@ def _cmd_infer(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    if args.spike_factor > 1.0:
+        phases = spike_phases(args.arrival_rate, args.spike_factor,
+                              base_duration=args.duration / 2,
+                              spike_duration=args.spike_duration)
+    else:
+        phases = [ServingPhase(args.duration, args.arrival_rate)]
+    slo = args.slo_p99 / 1e3
+    report = serve_workload(
+        args.workload, phases,
+        max_batch=args.max_batch, max_wait=args.max_wait / 1e3,
+        pool_devices=args.devices, device_type=args.device_type,
+        virtual_nodes=args.virtual_nodes,
+        initial_devices=args.initial_devices,
+        autoscale=args.autoscale, slo_p99=slo if args.autoscale else None,
+        backend=args.backend, seed=args.seed, limit=args.requests)
+    summary = report.summary(slo_p99=slo)
+    rows = [
+        ["requests served", f"{int(summary['requests'])}"],
+        ["micro-batches", f"{int(summary['batches'])} "
+                          f"(mean size {summary['mean_batch_size']:.1f})"],
+        ["sim duration", format_duration(summary["duration_s"])],
+        ["throughput", f"{summary['throughput_rps']:.0f} req/s"],
+        ["latency p50 / p99", f"{summary['latency_p50_ms']:.2f} / "
+                              f"{summary['latency_p99_ms']:.2f} ms"],
+        ["queue / service (mean)", f"{summary['mean_queue_delay_ms']:.2f} / "
+                                   f"{summary['mean_service_ms']:.2f} ms"],
+        [f"SLO p99 <= {args.slo_p99:.0f} ms",
+         f"{'MET' if summary['meets_slo'] else 'MISSED'} "
+         f"(attainment {summary['slo_attainment']:.1%})"],
+        ["devices (avg / final)", f"{summary['avg_devices']:.2f} / "
+                                  f"{report.final_devices}"],
+        ["remaps", f"{int(summary['remaps'])}"],
+    ]
+    mode = "autoscaled" if args.autoscale else "fixed mapping"
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.workload} serving on a pool of "
+              f"{args.devices}x{args.device_type} ({mode}), "
+              f"rate {args.arrival_rate:.0f}/s"
+              + (f" with {args.spike_factor:.0f}x spike"
+                 if args.spike_factor > 1 else "")))
+    for when, old, new, cost in report.scaling_events:
+        print(f"  t={when:7.3f}s  remapped {old} -> {new} devices "
+              f"(cost {cost*1e3:.1f} ms)")
+    return 0
+
+
 def _cmd_plan(args) -> int:
     workload = get_workload(args.workload)
     vn_set = VirtualNodeSet.even(args.batch, args.virtual_nodes)
@@ -279,6 +393,7 @@ def _cmd_gavel(args) -> int:
 _COMMANDS = {
     "train": _cmd_train,
     "infer": _cmd_infer,
+    "serve": _cmd_serve,
     "plan": _cmd_plan,
     "profile": _cmd_profile,
     "solve": _cmd_solve,

@@ -23,7 +23,7 @@ priced with, so schedule arithmetic has one owner.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.backends import ExecutionBackend, get_backend
 from repro.core.mapping import Mapping

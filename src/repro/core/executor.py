@@ -45,8 +45,8 @@ from repro.core.plan import ExecutionPlan
 from repro.core.sharding import shard_batch
 from repro.core.state import (
     VirtualNodeState,
+    merged_eval_state,
     migrate_states,
-    packed_state_matrix,
     state_layout,
 )
 from repro.core.virtual_node import VirtualNodeSet
@@ -234,30 +234,14 @@ class VirtualFlowExecutor:
     # -- evaluation ----------------------------------------------------------------
 
     def _merged_eval_state(self) -> Dict[str, np.ndarray]:
-        """Canonical evaluation view of stateful kernels: the virtual-node mean.
+        """Cached :func:`repro.core.state.merged_eval_state` of the live states.
 
-        Per-node moving statistics differ slightly (they are never
-        synchronized); averaging in index order gives a mapping-independent
-        evaluation model.  The merge is cached between steps — repeated
-        ``evaluate()`` calls (early-stopping loops) reuse it until a step,
-        remap, or checkpoint restore invalidates it.
-
-        The merge packs all node states into one ``(num_nodes, state_size)``
-        matrix (reusing a cached stack) and reduces it in one in-order pass
-        — bit-identical to the per-key accumulation loop it replaces.
+        Repeated ``evaluate()`` calls (early-stopping loops) reuse the merge
+        until a step, remap, or checkpoint restore invalidates it.
         """
         if self._eval_state is None:
-            states = self._vn_states
-            layout = self._state_layout
-            if layout is None:
-                self._eval_state = {}
-                return self._eval_state
-            self._state_stack = packed_state_matrix(states, layout,
-                                                    self._state_stack)
-            stack = self._state_stack
-            merged_flat = stack.sum(axis=0)
-            merged_flat /= len(states)
-            self._eval_state = layout.views(merged_flat)
+            self._eval_state, self._state_stack = merged_eval_state(
+                self._vn_states, self._state_layout, self._state_stack)
         return self._eval_state
 
     def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> Tuple[float, float]:

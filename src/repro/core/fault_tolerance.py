@@ -12,7 +12,7 @@ This module implements that policy on top of :meth:`VirtualFlowExecutor.remap`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable
 
 from repro.core.executor import VirtualFlowExecutor
 from repro.core.mapping import Mapping

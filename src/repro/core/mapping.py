@@ -7,7 +7,7 @@ device executes which waves, and therefore step time and memory placement.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping as TMapping, Sequence
+from typing import Dict, List, Mapping as TMapping
 
 from repro.core.virtual_node import VirtualNodeSet
 from repro.hardware.cluster import Cluster

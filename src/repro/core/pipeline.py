@@ -18,7 +18,7 @@ per-stage forward/backward times (seconds per microbatch).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.core.engine import pipelined_makespan, sequential_sweep_time
 

@@ -10,7 +10,7 @@ graph build time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.mapping import Mapping
 from repro.hardware.perfmodel import PerfModel, StepTimeBreakdown

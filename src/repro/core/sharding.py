@@ -9,7 +9,7 @@ training, §5.2 "Data sharding") fall out of the same code path.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

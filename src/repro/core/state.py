@@ -26,6 +26,7 @@ from repro.hardware.interconnect import Interconnect
 
 __all__ = [
     "VirtualNodeState",
+    "merged_eval_state",
     "migrate_states",
     "migration_time",
     "state_layout",
@@ -128,6 +129,30 @@ def scatter_states(matrix: np.ndarray, layout: FlatLayout,
             f"{matrix.shape[0]} state rows for {len(states)} virtual nodes")
     for state, row in zip(states, matrix):
         state.buffers = {k: v.copy() for k, v in layout.views(row).items()}
+
+
+def merged_eval_state(states: List[VirtualNodeState], layout: Optional[FlatLayout],
+                      scratch: Optional[np.ndarray] = None):
+    """Canonical evaluation view of stateful kernels: the virtual-node mean.
+
+    Per-node moving statistics differ slightly (they are never synchronized);
+    averaging in index order gives a mapping-independent evaluation model.
+    The merge packs all node states into one ``(num_nodes, state_size)``
+    matrix and reduces it in one in-order pass — bit-identical to a per-key
+    accumulation loop.
+
+    Returns ``(buffers, scratch)``: the merged buffer dict (empty for a
+    stateless template, i.e. ``layout is None``) plus the pack matrix, which
+    callers hold on to as next call's ``scratch``.  Both the training
+    executor's evaluation path and the inference engine's serving path cache
+    the result of this merge between steps / across micro-batches.
+    """
+    if layout is None:
+        return {}, scratch
+    scratch = packed_state_matrix(states, layout, scratch)
+    merged_flat = scratch.sum(axis=0)
+    merged_flat /= len(states)
+    return layout.views(merged_flat), scratch
 
 
 def migration_time(old_mapping: Mapping, new_mapping: Mapping, model_bytes: int,

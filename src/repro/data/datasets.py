@@ -20,7 +20,6 @@ image tasks, ``synthetic_glue`` is a sentence-classification task, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 import numpy as np
 

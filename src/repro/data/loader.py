@@ -10,7 +10,7 @@ semantics, while the split across accelerators is a systems-level concern.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator
 
 import numpy as np
 

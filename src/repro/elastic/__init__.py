@@ -6,7 +6,15 @@ from repro.elastic.jobs import JobSpec, JobState, JobStatus
 from repro.elastic.simulator import ClusterSimulator, SimulationResult
 from repro.elastic.wfs import ElasticWFSScheduler
 from repro.elastic.priority import StaticPriorityScheduler
-from repro.elastic.trace import TABLE3_WORKLOADS, TraceJob, generate_trace, three_job_trace
+from repro.elastic.trace import (
+    TABLE3_WORKLOADS,
+    ServingPhase,
+    TraceJob,
+    generate_trace,
+    serving_arrival_times,
+    spike_phases,
+    three_job_trace,
+)
 from repro.elastic.metrics import TraceMetrics, compute_metrics
 from repro.elastic.policies import apply_policy, fifo_priority, sjf_priority, srtf_priority
 
@@ -16,6 +24,7 @@ __all__ = [
     "JobSpec",
     "JobState",
     "JobStatus",
+    "ServingPhase",
     "SimulationResult",
     "StaticPriorityScheduler",
     "TABLE3_WORKLOADS",
@@ -27,5 +36,7 @@ __all__ = [
     "sjf_priority",
     "srtf_priority",
     "generate_trace",
+    "serving_arrival_times",
+    "spike_phases",
     "three_job_trace",
 ]

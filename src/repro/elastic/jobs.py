@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.framework.models import Workload, get_workload
 from repro.hardware.device import DeviceSpec, get_spec

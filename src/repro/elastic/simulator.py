@@ -12,7 +12,6 @@ and 11 plot — and feeds :mod:`repro.elastic.metrics`.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 

@@ -1,10 +1,17 @@
-"""Trace generation for the elasticity experiments (§6.4, Table 3).
+"""Trace generation: training-job traces (§6.4, Table 3) and serving traces.
 
 :data:`TABLE3_WORKLOADS` mirrors the paper's workload mix; traces draw jobs
 uniformly from it with Poisson arrivals and random priorities in {1, 5, 10},
 as in the 20-job experiment.  :func:`three_job_trace` reproduces the §6.4.1
 scenario exactly (two 4-GPU BERT jobs sandwiching a 2-GPU ResNet job with
 ascending priorities).
+
+Serving traces live next to the training traces: a serving workload is a
+piecewise-constant request-arrival process — :class:`ServingPhase` segments
+of ``(duration, rate)`` — rather than a list of finite jobs.
+:func:`serving_arrival_times` samples the open-loop Poisson arrivals the
+request router (:mod:`repro.serving`) admits, and :func:`spike_phases` is
+the canonical load-spike shape the autoscaling experiments ride.
 """
 
 from __future__ import annotations
@@ -17,9 +24,18 @@ import numpy as np
 from repro.elastic.jobs import JobSpec
 from repro.utils.seeding import derive_rng
 
-__all__ = ["TraceJob", "TABLE3_WORKLOADS", "generate_trace", "three_job_trace"]
+__all__ = [
+    "TraceJob",
+    "TABLE3_WORKLOADS",
+    "ServingPhase",
+    "generate_trace",
+    "serving_arrival_times",
+    "spike_phases",
+    "three_job_trace",
+]
 
 _TRACE_DOMAIN = 0x7A
+_SERVING_DOMAIN = 0x7B
 
 
 @dataclass(frozen=True)
@@ -103,6 +119,73 @@ def generate_trace(num_jobs: int, jobs_per_hour: float, seed: int = 0,
             backend=backend,
         ))
     return specs
+
+
+# -- serving traces ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServingPhase:
+    """One segment of a piecewise-constant request-arrival process."""
+
+    duration: float  # seconds
+    rate: float      # mean request arrivals per second (Poisson)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"phase duration must be positive, got {self.duration}")
+        if self.rate < 0:
+            raise ValueError(f"arrival rate must be >= 0, got {self.rate}")
+
+
+def spike_phases(base_rate: float, spike_factor: float = 4.0,
+                 base_duration: float = 4.0,
+                 spike_duration: float = 4.0) -> List[ServingPhase]:
+    """The canonical load-spike trace: base → ``spike_factor``× base → base.
+
+    This is the shape the serving autoscaler is designed to ride: a steady
+    diurnal-style base load interrupted by a burst a fixed mapping sized for
+    the base load cannot absorb.
+    """
+    if spike_factor < 1:
+        raise ValueError(f"spike_factor must be >= 1, got {spike_factor}")
+    return [
+        ServingPhase(base_duration, base_rate),
+        ServingPhase(spike_duration, base_rate * spike_factor),
+        ServingPhase(base_duration, base_rate),
+    ]
+
+
+def serving_arrival_times(phases: Sequence[ServingPhase], seed: int = 0,
+                          limit: Optional[int] = None) -> np.ndarray:
+    """Open-loop Poisson arrival times over a piecewise-constant rate trace.
+
+    Within each phase, inter-arrival gaps are exponential at that phase's
+    rate; arrivals that would fall past the phase boundary roll over into the
+    next phase (the process is truncated, not resampled, so the seam between
+    phases stays memoryless-ish without double-counting).  Returns absolute
+    arrival times in seconds, strictly increasing, ending before the total
+    trace duration.  ``limit`` caps the number of arrivals.
+    """
+    if not phases:
+        raise ValueError("a serving trace needs at least one phase")
+    rng = derive_rng(seed, _SERVING_DOMAIN)
+    times: List[float] = []
+    t = 0.0
+    phase_start = 0.0
+    for phase in phases:
+        phase_end = phase_start + phase.duration
+        t = max(t, phase_start)
+        if phase.rate > 0:
+            while True:
+                t += float(rng.exponential(1.0 / phase.rate))
+                if t >= phase_end or (limit is not None and len(times) >= limit):
+                    break
+                times.append(t)
+        phase_start = phase_end
+        if limit is not None and len(times) >= limit:
+            break
+    return np.asarray(times, dtype=float)
 
 
 def three_job_trace(steps_scale: float = 1.0) -> List[JobSpec]:

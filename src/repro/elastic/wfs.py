@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.elastic.jobs import JobState, JobStatus
+from repro.elastic.jobs import JobState
 
 __all__ = ["ElasticWFSScheduler", "weighted_fair_shares"]
 
@@ -40,14 +40,12 @@ def weighted_fair_shares(total_gpus: int, jobs: Sequence[JobState]) -> Dict[int,
     while active and remaining > 1e-9:
         total_w = sum(j.spec.priority for j in active)
         capped = []
-        progressed = False
         for j in active:
             quota = remaining * j.spec.priority / total_w
             room = j.spec.demand_gpus - shares[j.job_id]
             if quota >= room - 1e-12:
                 shares[j.job_id] += room
                 capped.append(j)
-                progressed = True
         if capped:
             remaining = total_gpus - sum(shares.values())
             active = [j for j in active if j not in capped]

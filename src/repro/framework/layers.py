@@ -508,7 +508,6 @@ class MaxPool2D(Module):
 
     def backward(self, grad):
         mask, x_shape = self._cache
-        p = self.pool
         n, h, w, c = x_shape
         counts = mask.sum(axis=(2, 4), keepdims=True)
         g = grad[:, :, None, :, None, :] * mask / counts

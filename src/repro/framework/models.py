@@ -22,7 +22,7 @@ workloads used across the paper's evaluation (§6, Table 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -33,7 +33,6 @@ from repro.framework.layers import (
     Dense,
     Dropout,
     Embedding,
-    Flatten,
     GlobalAvgPool2D,
     MaxPool2D,
     Module,

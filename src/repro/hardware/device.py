@@ -14,7 +14,7 @@ fit a batch of 8192 on one GPU while VirtualFlow can.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.hardware.memory import MemoryLedger

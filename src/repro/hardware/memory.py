@@ -10,7 +10,7 @@ paper's Figure 6 breakdown where activations dominate at the peak.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.utils.units import format_bytes
 

@@ -18,7 +18,6 @@ behaviour where two P100s cannot keep up with a V100.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 from repro.framework.models import Workload, get_workload

@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.framework.models import Workload, get_workload
 from repro.hardware.device import DeviceSpec, get_spec
-from repro.hardware.interconnect import Interconnect
 from repro.hardware.perfmodel import PerfModel
 from repro.profiler.profiles import ProfileStore, ThroughputProfile
 from repro.utils.seeding import derive_rng

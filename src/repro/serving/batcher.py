@@ -1,0 +1,53 @@
+"""The micro-batching policy: when does a waiting queue become a batch?
+
+Dynamic batching trades latency for throughput: a fuller batch amortizes the
+per-wave fixed cost (the perf model's ``alpha``), but every admitted request
+waits for the batch to launch.  :class:`MicroBatchPolicy` is the standard
+``max_batch`` / ``max_wait`` contract used by production serving layers:
+
+* launch as soon as ``max_batch`` requests are queued, and
+* never hold the oldest request longer than ``max_wait`` seconds,
+* but never launch before the (single) serving pipeline is free.
+
+The policy object is pure arithmetic over arrival times — the router owns
+the event loop and the interaction with the request source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["MicroBatchPolicy"]
+
+
+@dataclass(frozen=True)
+class MicroBatchPolicy:
+    """The ``max_batch`` / ``max_wait`` coalescing contract."""
+
+    max_batch: int = 8
+    max_wait: float = 0.002  # seconds
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+
+    def deadline(self, first_arrival: float) -> float:
+        """Latest launch time the oldest queued request tolerates."""
+        return first_arrival + self.max_wait
+
+    def trigger_time(self, arrivals: Sequence[float]) -> float:
+        """When a queue with the given arrival times triggers a launch.
+
+        ``arrivals`` are the known queued arrival times in FCFS order (the
+        router has already pulled every arrival that could affect this
+        decision).  The batch fills at the ``max_batch``-th arrival; an
+        underfull queue launches at the oldest request's deadline.
+        """
+        if not arrivals:
+            raise ValueError("cannot compute a trigger time for an empty queue")
+        if len(arrivals) >= self.max_batch:
+            return arrivals[self.max_batch - 1]
+        return self.deadline(arrivals[0])

@@ -1,0 +1,159 @@
+"""Request generators: how load arrives at the serving router.
+
+Two canonical load models from the serving literature:
+
+* **open loop** (:class:`OpenLoopPoissonSource`) — arrivals follow a Poisson
+  process whose rate is a piecewise-constant function of time
+  (:class:`~repro.elastic.trace.ServingPhase` segments).  Arrivals are
+  independent of completions, so an overloaded server builds a real queue —
+  this is the model that exposes latency cliffs and is what the SLO
+  benchmarks sweep.
+* **closed loop** (:class:`ClosedLoopSource`) — a fixed population of
+  clients, each with at most one outstanding request; a client thinks for an
+  exponential delay after each completion, then issues its next request.
+  Load self-limits at the service rate, which is why closed-loop numbers
+  alone can hide overload behavior.
+
+Both draw request payloads by cycling the rows of an example bank in a fixed
+order, so a serving run is fully reproducible from (trace, seed, bank).
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.elastic.trace import ServingPhase, serving_arrival_times
+from repro.serving.request import Request, RequestRecord
+from repro.utils.seeding import derive_rng
+
+__all__ = ["RequestSource", "OpenLoopPoissonSource", "ClosedLoopSource"]
+
+_CLOSED_LOOP_DOMAIN = 0x7C
+
+
+class RequestSource(ABC):
+    """The router's view of incoming load.
+
+    The router is a discrete-event loop: it peeks the next arrival time to
+    decide whether waiting (for a fuller micro-batch) is worthwhile, admits
+    arrivals up to a clock value, and notifies the source of completions so
+    closed-loop clients can schedule their next request.
+    """
+
+    @abstractmethod
+    def next_arrival_time(self) -> Optional[float]:
+        """Arrival time of the next pending request, or None when drained."""
+
+    @abstractmethod
+    def take_arrivals(self, until: float) -> List[Request]:
+        """Pop every request arriving at or before ``until``, in order."""
+
+    def on_completion(self, records: Sequence[RequestRecord]) -> None:
+        """Hook: a micro-batch completed (closed-loop sources react here)."""
+
+
+class _ExampleBank:
+    """Cycles the rows of a fixed example array in canonical order."""
+
+    def __init__(self, examples: np.ndarray) -> None:
+        if len(examples) == 0:
+            raise ValueError("the example bank needs at least one row")
+        self._examples = examples
+        self._cursor = 0
+
+    def next_example(self) -> np.ndarray:
+        row = self._examples[self._cursor % len(self._examples)]
+        self._cursor += 1
+        return row
+
+
+class OpenLoopPoissonSource(RequestSource):
+    """Poisson arrivals over :class:`ServingPhase` segments, then silence."""
+
+    def __init__(self, phases: Sequence[ServingPhase], examples: np.ndarray,
+                 seed: int = 0, limit: Optional[int] = None) -> None:
+        self._times = serving_arrival_times(phases, seed=seed, limit=limit)
+        self._bank = _ExampleBank(examples)
+        self._next = 0
+
+    @property
+    def total_requests(self) -> int:
+        return len(self._times)
+
+    def next_arrival_time(self) -> Optional[float]:
+        if self._next >= len(self._times):
+            return None
+        return float(self._times[self._next])
+
+    def take_arrivals(self, until: float) -> List[Request]:
+        out: List[Request] = []
+        while self._next < len(self._times) and self._times[self._next] <= until:
+            out.append(Request(
+                request_id=self._next,
+                arrival_time=float(self._times[self._next]),
+                example=self._bank.next_example(),
+            ))
+            self._next += 1
+        return out
+
+
+class ClosedLoopSource(RequestSource):
+    """A fixed client population with one outstanding request per client."""
+
+    def __init__(self, num_clients: int, requests_per_client: int,
+                 examples: np.ndarray, think_time: float = 0.01,
+                 seed: int = 0) -> None:
+        if num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+        if requests_per_client < 1:
+            raise ValueError(
+                f"requests_per_client must be >= 1, got {requests_per_client}")
+        if think_time < 0:
+            raise ValueError(f"think_time must be >= 0, got {think_time}")
+        self._bank = _ExampleBank(examples)
+        self._think = think_time
+        self._rng = derive_rng(seed, _CLOSED_LOOP_DOMAIN)
+        self._remaining = {c: requests_per_client - 1 for c in range(num_clients)}
+        self._next_id = 0
+        # (issue_time, client) min-heap; every client thinks once before its
+        # first request so arrivals do not all land at t=0.
+        self._issues: List[tuple] = [
+            (self._think_delay(), c) for c in range(num_clients)
+        ]
+        heapq.heapify(self._issues)
+
+    def _think_delay(self) -> float:
+        if self._think == 0:
+            return 0.0
+        return float(self._rng.exponential(self._think))
+
+    def next_arrival_time(self) -> Optional[float]:
+        if not self._issues:
+            return None
+        return self._issues[0][0]
+
+    def take_arrivals(self, until: float) -> List[Request]:
+        out: List[Request] = []
+        while self._issues and self._issues[0][0] <= until:
+            issue_time, client = heapq.heappop(self._issues)
+            out.append(Request(
+                request_id=self._next_id,
+                arrival_time=issue_time,
+                example=self._bank.next_example(),
+                client=client,
+            ))
+            self._next_id += 1
+        return out
+
+    def on_completion(self, records: Sequence[RequestRecord]) -> None:
+        for record in records:
+            if record.client is None:
+                continue
+            if self._remaining.get(record.client, 0) > 0:
+                self._remaining[record.client] -= 1
+                heapq.heappush(self._issues, (
+                    record.completion_time + self._think_delay(), record.client))

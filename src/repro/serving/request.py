@@ -1,0 +1,78 @@
+"""Request and per-request accounting records for the serving subsystem.
+
+A :class:`Request` is one single-example inference call: a payload row (no
+batch axis) plus its arrival time in the simulated clock.  The router turns
+admitted requests into :class:`RequestRecord`s — the per-request latency
+breakdown (queueing vs. service) every SLO metric is computed from — and
+per-dispatch :class:`BatchRecord`s for batch-level accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Request", "RequestRecord", "BatchRecord"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One admitted single-example inference request."""
+
+    request_id: int
+    arrival_time: float
+    example: np.ndarray
+    client: Optional[int] = None  # set by closed-loop sources
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """The completed lifecycle of one request.
+
+    ``latency`` is what the SLO is written against: queueing (arrival →
+    dispatch) plus service (dispatch → completion; every request in a
+    micro-batch completes when its batch does).
+    """
+
+    request_id: int
+    arrival_time: float
+    dispatch_time: float
+    completion_time: float
+    batch_id: int
+    batch_size: int
+    devices: int
+    client: Optional[int] = None
+
+    @property
+    def queue_delay(self) -> float:
+        return self.dispatch_time - self.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        return self.completion_time - self.dispatch_time
+
+    @property
+    def latency(self) -> float:
+        return self.completion_time - self.arrival_time
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched micro-batch."""
+
+    batch_id: int
+    dispatch_time: float
+    completion_time: float
+    size: int
+    devices: int
+    waves: int
+
+    @property
+    def service_time(self) -> float:
+        return self.completion_time - self.dispatch_time

@@ -1,0 +1,390 @@
+"""The dynamic micro-batching request router.
+
+This is the online serving driver the paper's "each step of training or
+inference" clause points at: a discrete-event loop that admits a stream of
+single-example requests, coalesces them into micro-batches under a
+:class:`~repro.serving.batcher.MicroBatchPolicy`, dispatches each batch
+through the shared :class:`~repro.core.inference.InferenceEngine` (one
+numeric forward per batch, bit-identical to a one-shot batch of the same
+examples), and accounts per-request queueing + service latency on the
+simulated clock the engine's validated plan prices.
+
+Elasticity closes the loop: with a :class:`~repro.serving.autoscaler.
+LatencyAutoscaler` attached, the router remaps the virtual-node→device
+assignment over a device pool after any micro-batch whose completion trips
+the scaler — more devices means fewer sequential waves per batch, so the
+p99 rides a load spike down without changing a single logit (results are
+mapping-invariant by construction).  Remaps are charged the same §4.1
+all-gather cost model training resizes pay (parameters to joining devices).
+
+Time model: one serving pipeline — micro-batches execute sequentially, each
+taking the bottleneck device's forward waves; arrivals keep queueing while
+the pipeline is busy.  All times are simulated seconds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import VirtualNodeEngine
+from repro.core.inference import InferenceEngine
+from repro.core.mapping import Mapping
+from repro.core.plan import PlanValidationError
+from repro.core.sharding import shard_sizes
+from repro.core.state import migration_time
+from repro.core.virtual_node import VirtualNodeSet
+from repro.data import make_dataset
+from repro.elastic.trace import ServingPhase
+from repro.framework.models import Workload, get_workload
+from repro.hardware.cluster import Cluster
+from repro.hardware.perfmodel import PerfModel
+from repro.serving.autoscaler import AllocationProfile, LatencyAutoscaler
+from repro.serving.batcher import MicroBatchPolicy
+from repro.serving.generators import OpenLoopPoissonSource, RequestSource
+from repro.serving.request import BatchRecord, Request, RequestRecord
+from repro.telemetry import percentile
+
+__all__ = ["RequestRouter", "ServingReport", "capacity_table", "serve_workload"]
+
+
+def capacity_table(workload: Workload, vn_set: VirtualNodeSet, pool: Cluster,
+                   max_batch: int,
+                   perf: Optional[PerfModel] = None,
+                   ) -> Dict[int, AllocationProfile]:
+    """Model-priced serving profile per allocation size.
+
+    For every prefix of the pool that can hold a validated plan, price one
+    *full* micro-batch through the same engine latency query the router's
+    dispatches use.  Full batches are the right operating point for both
+    numbers: near saturation the queue keeps every dispatch filled, so
+    ``capacity_rps`` is the throughput the allocation actually degrades at,
+    and ``full_batch_latency`` is the service time a Poisson burst pays
+    there.  Allocations whose plan fails validation (a wave no longer fits
+    in device memory) are simply absent — the autoscaler never proposes
+    them.
+    """
+    ids = sorted(d.device_id for d in pool.devices)
+    sizes = shard_sizes(vn_set, max_batch)
+    profiles: Dict[int, AllocationProfile] = {}
+    for k in range(1, min(len(ids), vn_set.num_nodes) + 1):
+        try:
+            mapping = Mapping.even(vn_set, pool.subset(ids[:k]))
+            engine = VirtualNodeEngine(workload, mapping, perf=perf)
+        except PlanValidationError:
+            continue
+        latency, _ = engine.inference_latency(sizes)
+        if latency > 0:
+            profiles[k] = AllocationProfile(
+                devices=k, capacity_rps=max_batch / latency,
+                full_batch_latency=latency)
+    return profiles
+
+
+@dataclass
+class ServingReport:
+    """Everything a serving run produced, for SLO metrics and dashboards."""
+
+    records: List[RequestRecord] = field(default_factory=list)
+    batches: List[BatchRecord] = field(default_factory=list)
+    scaling_events: List[Tuple[float, int, int, float]] = field(default_factory=list)
+    device_seconds: float = 0.0
+    duration: float = 0.0
+    final_devices: int = 0
+    # request_id -> logits row, populated only when the router collects them.
+    logits: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def latencies(self) -> np.ndarray:
+        return np.asarray([r.latency for r in self.records], dtype=float)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.latencies(), q)
+
+    def slo_attainment(self, slo: float) -> float:
+        """Fraction of requests that met the latency objective."""
+        if not self.records:
+            raise ValueError("no completed requests")
+        lat = self.latencies()
+        return float((lat <= slo).mean())
+
+    def throughput(self) -> float:
+        """Completed requests per simulated second."""
+        return len(self.records) / self.duration if self.duration > 0 else 0.0
+
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return float(np.mean([b.size for b in self.batches]))
+
+    def avg_devices(self) -> float:
+        """Time-averaged devices held — the cost side of the SLO frontier."""
+        return self.device_seconds / self.duration if self.duration > 0 else 0.0
+
+    def summary(self, slo_p99: Optional[float] = None) -> Dict[str, float]:
+        """A flat JSON-able digest of the run (all-zero for an empty run)."""
+        if not self.records:
+            out = {
+                "requests": 0.0, "batches": 0.0, "duration_s": self.duration,
+                "throughput_rps": 0.0, "mean_batch_size": 0.0,
+                "latency_p50_ms": 0.0, "latency_p99_ms": 0.0,
+                "latency_max_ms": 0.0, "mean_queue_delay_ms": 0.0,
+                "mean_service_ms": 0.0, "avg_devices": self.avg_devices(),
+                "remaps": float(len(self.scaling_events)),
+            }
+            if slo_p99 is not None:
+                out["slo_p99_ms"] = slo_p99 * 1e3
+                out["slo_attainment"] = 1.0  # vacuously: nothing was late
+                out["meets_slo"] = 1.0
+            return out
+        lat = self.latencies()
+        out = {
+            "requests": float(len(self.records)),
+            "batches": float(len(self.batches)),
+            "duration_s": self.duration,
+            "throughput_rps": self.throughput(),
+            "mean_batch_size": self.mean_batch_size(),
+            "latency_p50_ms": percentile(lat, 50) * 1e3,
+            "latency_p99_ms": percentile(lat, 99) * 1e3,
+            "latency_max_ms": float(lat.max()) * 1e3,
+            "mean_queue_delay_ms": float(np.mean([r.queue_delay for r in self.records])) * 1e3,
+            "mean_service_ms": float(np.mean([r.service_time for r in self.records])) * 1e3,
+            "avg_devices": self.avg_devices(),
+            "remaps": float(len(self.scaling_events)),
+        }
+        if slo_p99 is not None:
+            out["slo_p99_ms"] = slo_p99 * 1e3
+            out["slo_attainment"] = self.slo_attainment(slo_p99)
+            out["meets_slo"] = float(percentile(lat, 99) <= slo_p99)
+        return out
+
+
+class RequestRouter:
+    """Admit → coalesce → dispatch → (maybe) rescale, on a simulated clock.
+
+    Parameters
+    ----------
+    inference:
+        The serving engine.  Its current mapping is the starting allocation;
+        its virtual-node set is fixed for the run (that is the paper's
+        contract — elasticity only ever changes the mapping).
+    source:
+        Where requests come from (open- or closed-loop).
+    policy:
+        The ``max_batch`` / ``max_wait`` coalescing contract.
+    pool:
+        The device pool scaling draws from; required when ``autoscaler`` is
+        set.  The engine's devices must be a prefix subset of the pool.
+    autoscaler:
+        Optional :class:`LatencyAutoscaler`; when None the mapping is fixed.
+    collect_logits:
+        Keep every request's logits row in the report (tests and small runs;
+        off by default to keep big sweeps lean).
+    """
+
+    def __init__(self, inference: InferenceEngine, source: RequestSource,
+                 policy: MicroBatchPolicy = MicroBatchPolicy(),
+                 pool: Optional[Cluster] = None,
+                 autoscaler: Optional[LatencyAutoscaler] = None,
+                 collect_logits: bool = False) -> None:
+        if autoscaler is not None and pool is None:
+            raise ValueError("autoscaling needs a device pool to draw from")
+        self.inference = inference
+        self.source = source
+        self.policy = policy
+        self.pool = pool
+        self.autoscaler = autoscaler
+        self.collect_logits = collect_logits
+        self._pool_ids = (sorted(d.device_id for d in pool.devices)
+                         if pool is not None else [])
+
+    # -- elasticity -----------------------------------------------------------
+
+    @property
+    def devices(self) -> int:
+        return len(self.inference.mapping.active_devices())
+
+    def _rescale(self, target: int) -> float:
+        """Remap onto the first ``target`` pool devices; return the cost.
+
+        The cost model is the same §4.1 all-gather training resizes pay:
+        parameters must reach joining devices, shrinking is free.
+        """
+        vn_set = self.inference.mapping.vn_set
+        target = min(target, vn_set.num_nodes)
+        old_mapping = self.inference.mapping
+        new_mapping = Mapping.even(
+            vn_set, self.pool.subset(self._pool_ids[:target]))
+        cost = migration_time(
+            old_mapping, new_mapping,
+            model_bytes=self.inference.workload.footprint.param_bytes,
+            state_bytes=0)
+        self.inference.remap(new_mapping)
+        return cost
+
+    # -- the event loop -------------------------------------------------------
+
+    def run(self) -> ServingReport:
+        """Serve the source dry; return the full accounting."""
+        report = ServingReport()
+        pending: Deque[Request] = deque()
+        server_free = 0.0
+        devices = self.devices
+        device_clock = 0.0  # last time the device count changed
+        batch_id = 0
+
+        while True:
+            if not pending:
+                nxt = self.source.next_arrival_time()
+                if nxt is None:
+                    break
+                pending.extend(self.source.take_arrivals(nxt))
+
+            # Pull every arrival that can influence this launch decision: the
+            # batch can fill no later than max(deadline, server_free).
+            deadline = self.policy.deadline(pending[0].arrival_time)
+            horizon = max(deadline, server_free)
+            self._admit(pending, horizon)
+            launch = max(
+                self.policy.trigger_time([r.arrival_time for r in pending]),
+                server_free)
+            # Requests landing while the batch waited for the pipeline still
+            # make this dispatch.
+            self._admit(pending, launch)
+
+            batch: List[Request] = []
+            while (pending and len(batch) < self.policy.max_batch
+                   and pending[0].arrival_time <= launch):
+                batch.append(pending.popleft())
+
+            result = self.inference.predict_requests([r.example for r in batch])
+            completion = launch + result.sim_latency
+            records = [
+                RequestRecord(
+                    request_id=r.request_id,
+                    arrival_time=r.arrival_time,
+                    dispatch_time=launch,
+                    completion_time=completion,
+                    batch_id=batch_id,
+                    batch_size=len(batch),
+                    devices=devices,
+                    client=r.client,
+                )
+                for r in batch
+            ]
+            report.records.extend(records)
+            report.batches.append(BatchRecord(
+                batch_id=batch_id, dispatch_time=launch,
+                completion_time=completion, size=len(batch),
+                devices=devices, waves=result.waves))
+            if self.collect_logits:
+                for i, r in enumerate(batch):
+                    report.logits[r.request_id] = result.logits[i]
+            batch_id += 1
+            server_free = completion
+            self.source.on_completion(records)
+
+            if self.autoscaler is not None:
+                target = self.autoscaler.observe(records, completion, devices)
+                if target is not None and target != devices:
+                    cost = self._rescale(target)
+                    report.scaling_events.append(
+                        (completion, devices, self.devices, cost))
+                    report.device_seconds += (completion - device_clock) * devices
+                    device_clock = completion
+                    devices = self.devices
+                    server_free = completion + cost
+
+        report.duration = server_free
+        report.device_seconds += (server_free - device_clock) * devices
+        report.final_devices = devices
+        return report
+
+    def _admit(self, pending: Deque[Request], until: float) -> None:
+        """Move every arrival at or before ``until`` into the queue."""
+        while True:
+            nxt = self.source.next_arrival_time()
+            if nxt is None or nxt > until:
+                return
+            if len(pending) >= self.policy.max_batch:
+                # The decision this pull serves is already settled; later
+                # arrivals queue behind it on their own event.
+                return
+            pending.extend(self.source.take_arrivals(nxt))
+
+
+def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
+                   max_batch: int = 8, max_wait: float = 0.002,
+                   pool_devices: int = 4, device_type: str = "V100",
+                   virtual_nodes: Optional[int] = None,
+                   initial_devices: Optional[int] = None,
+                   autoscale: bool = False, slo_p99: Optional[float] = None,
+                   min_devices: int = 1, cooldown: float = 0.25,
+                   backend: object = "reference", seed: int = 0,
+                   limit: Optional[int] = None,
+                   source: Optional[RequestSource] = None,
+                   collect_logits: bool = False,
+                   ) -> ServingReport:
+    """Build and run a complete serving session for a registered workload.
+
+    The one-stop entry point the CLI and the SLO benchmark share: constructs
+    the workload model, a virtual-node set sized to the device pool, an
+    open-loop Poisson source over ``phases`` (or any explicit ``source``),
+    and a router — autoscaled over the pool when ``autoscale`` is set,
+    pinned to ``initial_devices`` otherwise.
+    """
+    if pool_devices < 1:
+        raise ValueError(f"pool_devices must be >= 1, got {pool_devices}")
+    workload = get_workload(workload_name)
+    num_vns = virtual_nodes if virtual_nodes is not None else pool_devices
+    if num_vns < pool_devices:
+        raise ValueError(
+            f"virtual_nodes ({num_vns}) must be >= pool_devices "
+            f"({pool_devices}) so the full pool can be used")
+    if autoscale and slo_p99 is None:
+        raise ValueError("autoscaling needs a p99 SLO to steer by")
+
+    pool = Cluster.homogeneous(device_type, pool_devices)
+    pool_ids = sorted(d.device_id for d in pool.devices)
+    start = initial_devices if initial_devices is not None else (
+        min_devices if autoscale else pool_devices)
+    if not 1 <= start <= pool_devices:
+        raise ValueError(
+            f"initial_devices must be in [1, {pool_devices}], got {start}")
+
+    # One virtual node per batch slot is not needed: the set only fixes the
+    # shard *proportions* (equal here), so V nodes of size 1 serve any
+    # micro-batch size.
+    vn_set = VirtualNodeSet.even(num_vns, num_vns)
+    mapping = Mapping.even(vn_set, pool.subset(pool_ids[:start]))
+    inference = InferenceEngine(workload, workload.build_model(seed), mapping,
+                                backend=backend)
+
+    if source is None:
+        dataset = make_dataset(workload.dataset, n=512, seed=seed)
+        source = OpenLoopPoissonSource(phases, dataset.x_val, seed=seed,
+                                       limit=limit)
+    autoscaler = None
+    if autoscale:
+        # A power-of-two allocation ladder (always including the full pool
+        # and the starting allocation): ~2x capacity steps dwarf both the
+        # rate-estimator noise and the hysteresis band, which is what keeps
+        # the scaler from flapping between adjacent allocations that
+        # straddle the offered load.
+        ladder = {1 << i for i in range(pool_devices.bit_length())}
+        ladder = {k for k in ladder if k <= pool_devices} | {pool_devices, start}
+        capacity = {
+            k: rps
+            for k, rps in capacity_table(workload, vn_set, pool, max_batch).items()
+            if k in ladder
+        }
+        autoscaler = LatencyAutoscaler(
+            slo_p99=slo_p99, capacity=capacity, min_devices=min_devices,
+            max_devices=min(pool_devices, num_vns), cooldown=cooldown)
+    router = RequestRouter(
+        inference, source,
+        policy=MicroBatchPolicy(max_batch=max_batch, max_wait=max_wait),
+        pool=pool, autoscaler=autoscaler, collect_logits=collect_logits)
+    return router.run()

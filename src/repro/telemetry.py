@@ -1,10 +1,15 @@
-"""Training telemetry: per-step records, summaries, and CSV/JSON export.
+"""Telemetry: per-step training records, latency histograms, and export.
 
 A :class:`TelemetryRecorder` attaches to the trainer's ``on_step``/
 ``on_epoch`` callbacks and accumulates a structured record stream.  The
 recorder is purely observational — it never affects training — and its
 output is what a downstream user would feed into dashboards or regression
 checks.
+
+:class:`LatencyHistogram` is the serving-side counterpart: a streaming
+accumulator of per-request latencies with percentile queries (p50/p99 are
+what SLOs are written against) and an optional sliding window, which is what
+the serving autoscaler watches to decide when to remap.
 """
 
 from __future__ import annotations
@@ -12,15 +17,22 @@ from __future__ import annotations
 import csv
 import json
 import os
-from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.executor import StepResult
 from repro.core.trainer import EpochResult
 
-__all__ = ["TelemetryRecorder", "StepRecord", "summary_stats"]
+__all__ = [
+    "LatencyHistogram",
+    "TelemetryRecorder",
+    "StepRecord",
+    "percentile",
+    "summary_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -35,8 +47,15 @@ class StepRecord:
     throughput: float  # examples per simulated second
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of a series (linear interpolation)."""
+    if len(values) == 0:
+        raise ValueError("no values to take a percentile of")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
 def summary_stats(values: List[float]) -> Dict[str, float]:
-    """Mean / std / min / max / p50 / p95 of a series."""
+    """Mean / std / min / max / p50 / p95 / p99 of a series."""
     if not values:
         raise ValueError("no values to summarize")
     arr = np.asarray(values, dtype=float)
@@ -47,7 +66,47 @@ def summary_stats(values: List[float]) -> Dict[str, float]:
         "max": float(arr.max()),
         "p50": float(np.percentile(arr, 50)),
         "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
     }
+
+
+class LatencyHistogram:
+    """Streaming latency accumulator with percentile queries.
+
+    ``window=None`` keeps every observation (whole-run reports); a positive
+    ``window`` keeps only the most recent N (the autoscaler's view of "how is
+    the service doing *right now*").  Values are seconds by convention.
+    """
+
+    def __init__(self, window: Optional[int] = None) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._values: deque = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latencies cannot be negative, got {value}")
+        self._values.append(float(value))
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def percentile(self, q: float) -> float:
+        return percentile(list(self._values), q)
+
+    def stats(self) -> Dict[str, float]:
+        """The :func:`summary_stats` of the (windowed) observations."""
+        stats = summary_stats(list(self._values))
+        stats["count"] = float(len(self._values))
+        return stats
 
 
 class TelemetryRecorder:

@@ -10,7 +10,7 @@ derivation so every consumer draws from the same, placement-free streams.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -68,6 +68,105 @@ class TestPredict:
         assert engine.sim_time > 0
 
 
+class TestPredictRequests:
+    def test_micro_batch_equals_one_shot_batch(self, batch):
+        engine = _engine()
+        rows = [batch[i] for i in range(6)]
+        micro = engine.predict_requests(rows)
+        oneshot = _engine().predict(batch[:6])
+        np.testing.assert_array_equal(micro.logits, oneshot.logits)
+        assert micro.logits.shape[0] == 6
+
+    def test_empty_micro_batch_rejected(self):
+        with pytest.raises(ValueError):
+            _engine().predict_requests([])
+
+    def test_latency_matches_equivalent_batch(self, batch):
+        engine = _engine()
+        rows = [batch[i] for i in range(5)]
+        assert (engine.predict_requests(rows).sim_latency
+                == _engine().predict(batch[:5]).sim_latency)
+
+
+class TestEvalStateCache:
+    def _trained_executor(self):
+        from repro.core import TrainerConfig, VirtualFlowTrainer
+
+        trainer = VirtualFlowTrainer(TrainerConfig(
+            workload="resnet56_cifar10", global_batch_size=16,
+            num_virtual_nodes=4, num_devices=2, dataset_size=64, seed=0))
+        trainer.executor.run_step(trainer.dataset.x_train[:16],
+                                  trainer.dataset.y_train[:16],
+                                  epoch=0, step=0)
+        return trainer
+
+    def test_from_executor_serves_merged_state(self):
+        trainer = self._trained_executor()
+        executor = trainer.executor
+        engine = InferenceEngine.from_executor(executor)
+        batch = trainer.dataset.x_val[:8]
+        served = engine.predict(batch).logits
+
+        executor.model.load_state_dict(executor._merged_eval_state())
+        np.testing.assert_array_equal(
+            served, executor.model.forward(batch, training=False))
+
+    def test_merge_computed_once_across_micro_batches(self):
+        trainer = self._trained_executor()
+        engine = InferenceEngine.from_executor(trainer.executor)
+        batch = trainer.dataset.x_val[:8]
+        engine.predict(batch)
+        cached = engine._eval_state
+        assert cached is not None
+        engine.predict_requests([batch[0], batch[1]])
+        assert engine._eval_state is cached  # reused, not recomputed
+
+    def test_shared_model_training_between_requests_does_not_leak(self):
+        # from_executor shares the executor's live model; a training step
+        # between requests leaves the LAST wave's un-merged kernels in the
+        # model's buffers.  Serving must keep using the cached merged view,
+        # never the leftover per-node state.
+        trainer = self._trained_executor()
+        executor = trainer.executor
+        engine = InferenceEngine.from_executor(executor)
+        batch = trainer.dataset.x_val[:8]
+        engine.predict(batch)
+        # Capture what the cached merged view produces on frozen parameters.
+        params_before = {k: v.copy() for k, v in executor.model.parameters().items()}
+        executor.run_step(trainer.dataset.x_train[:16],
+                          trainer.dataset.y_train[:16], epoch=0, step=1)
+        # Roll parameters back so only the stateful buffers differ: the
+        # wave loop left virtual node V-1's statistics in the model.
+        for k, v in executor.model.parameters().items():
+            v[...] = params_before[k]
+        served = engine.predict(batch).logits
+        executor.model.load_state_dict(engine._eval_state)
+        expected = executor.model.forward(batch, training=False)
+        np.testing.assert_array_equal(served, expected)
+        # And it is NOT the leftover last-wave state's output.
+        executor.model.load_state_dict(executor.vn_states[-1].buffers)
+        leaked = executor.model.forward(batch, training=False)
+        assert not np.array_equal(served, leaked)
+
+    def test_set_vn_states_invalidates_cache(self):
+        trainer = self._trained_executor()
+        engine = InferenceEngine.from_executor(trainer.executor)
+        batch = trainer.dataset.x_val[:8]
+        before = engine.predict(batch).logits
+        # Another training step moves the BatchNorm statistics.
+        trainer.executor.run_step(trainer.dataset.x_train[:16],
+                                  trainer.dataset.y_train[:16],
+                                  epoch=0, step=1)
+        engine.set_vn_states(trainer.executor.vn_states)
+        after = engine.predict(batch).logits
+        assert not np.array_equal(before, after)
+
+    def test_stateless_model_has_no_eval_state(self, batch):
+        engine = _engine()
+        engine.predict(batch)
+        assert engine._eval_state is None
+
+
 class TestRemap:
     def test_remap_preserves_results(self, batch):
         engine = _engine(num_devices=4)

@@ -17,7 +17,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.baselines import GradientAccumulationTrainer
 from repro.core import Mapping, TrainerConfig, VirtualFlowTrainer, VirtualNodeSet
-from repro.data import make_dataset
 from repro.hardware import Cluster
 
 

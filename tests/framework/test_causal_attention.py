@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.framework.layers import MultiHeadSelfAttention
 from tests.conftest import assert_grads_close, numeric_gradient

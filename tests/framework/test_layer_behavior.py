@@ -11,9 +11,7 @@ from repro.framework.layers import (
     Dense,
     Dropout,
     Embedding,
-    LayerNorm,
     MaxPool2D,
-    Module,
     MultiHeadSelfAttention,
     Sequential,
     softmax,

@@ -9,7 +9,6 @@ analytic parameter/input gradients against central differences.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.framework.layers import (
     BatchNorm,

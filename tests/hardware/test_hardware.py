@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -19,7 +18,7 @@ from repro.hardware import (
     ring_allreduce_time,
     simulate_step_memory,
 )
-from repro.utils.units import GB, MB
+from repro.utils.units import GB
 
 
 class TestDeviceSpecs:

@@ -1,0 +1,127 @@
+"""Serving traces and request sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.elastic import ServingPhase, serving_arrival_times, spike_phases
+from repro.serving import ClosedLoopSource, OpenLoopPoissonSource
+from repro.serving.request import RequestRecord
+
+
+class TestServingTrace:
+    def test_arrivals_increase_and_stay_in_range(self):
+        times = serving_arrival_times([ServingPhase(2.0, 100.0)], seed=0)
+        assert np.all(np.diff(times) > 0)
+        assert times[0] >= 0 and times[-1] < 2.0
+
+    def test_rate_is_roughly_honored(self):
+        times = serving_arrival_times([ServingPhase(10.0, 200.0)], seed=0)
+        assert 10.0 * 200.0 * 0.9 < len(times) < 10.0 * 200.0 * 1.1
+
+    def test_piecewise_rates(self):
+        phases = spike_phases(100.0, spike_factor=4.0,
+                              base_duration=2.0, spike_duration=2.0)
+        times = serving_arrival_times(phases, seed=1)
+        base = np.sum(times < 2.0)
+        spike = np.sum((times >= 2.0) & (times < 4.0))
+        assert spike > 2.5 * base  # ~4x, with Poisson slack
+
+    def test_deterministic_in_seed(self):
+        phases = [ServingPhase(1.0, 300.0)]
+        a = serving_arrival_times(phases, seed=7)
+        b = serving_arrival_times(phases, seed=7)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, serving_arrival_times(phases, seed=8))
+
+    def test_limit_caps_arrivals(self):
+        times = serving_arrival_times([ServingPhase(10.0, 500.0)], seed=0,
+                                      limit=25)
+        assert len(times) == 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingPhase(0.0, 10.0)
+        with pytest.raises(ValueError):
+            ServingPhase(1.0, -1.0)
+        with pytest.raises(ValueError):
+            spike_phases(100.0, spike_factor=0.5)
+        with pytest.raises(ValueError):
+            serving_arrival_times([], seed=0)
+
+
+class TestOpenLoopSource:
+    def test_requests_cycle_example_bank(self):
+        examples = np.arange(6, dtype=float).reshape(3, 2)
+        source = OpenLoopPoissonSource([ServingPhase(1.0, 200.0)], examples,
+                                       seed=0)
+        got = source.take_arrivals(1.0)
+        assert len(got) == source.total_requests
+        assert [r.request_id for r in got] == list(range(len(got)))
+        for r in got:
+            np.testing.assert_array_equal(r.example,
+                                          examples[r.request_id % 3])
+
+    def test_take_respects_clock(self):
+        examples = np.zeros((1, 2))
+        source = OpenLoopPoissonSource([ServingPhase(2.0, 100.0)], examples,
+                                       seed=0)
+        first = source.next_arrival_time()
+        got = source.take_arrivals(first)
+        assert len(got) >= 1
+        nxt = source.next_arrival_time()
+        assert nxt is None or nxt > first
+
+    def test_drained_source_reports_none(self):
+        examples = np.zeros((1, 2))
+        source = OpenLoopPoissonSource([ServingPhase(0.5, 50.0)], examples,
+                                       seed=0)
+        source.take_arrivals(10.0)
+        assert source.next_arrival_time() is None
+
+
+def _complete(requests, completion):
+    return [
+        RequestRecord(request_id=r.request_id, arrival_time=r.arrival_time,
+                      dispatch_time=completion - 0.001,
+                      completion_time=completion, batch_id=0,
+                      batch_size=len(requests), devices=1, client=r.client)
+        for r in requests
+    ]
+
+
+class TestClosedLoopSource:
+    def test_one_outstanding_request_per_client(self):
+        examples = np.zeros((4, 2))
+        source = ClosedLoopSource(num_clients=3, requests_per_client=2,
+                                  examples=examples, think_time=0.01, seed=0)
+        first = source.take_arrivals(10.0)
+        assert len(first) == 3  # one per client, nothing more until completion
+        assert source.next_arrival_time() is None
+        source.on_completion(_complete(first, completion=1.0))
+        second = source.take_arrivals(100.0)
+        assert len(second) == 3
+        assert all(r.arrival_time >= 1.0 for r in second)
+
+    def test_total_request_budget(self):
+        examples = np.zeros((4, 2))
+        source = ClosedLoopSource(num_clients=2, requests_per_client=3,
+                                  examples=examples, think_time=0.0, seed=0)
+        served = 0
+        t = 0.0
+        while source.next_arrival_time() is not None:
+            t += 1.0
+            batch = source.take_arrivals(t)
+            served += len(batch)
+            source.on_completion(_complete(batch, completion=t))
+        assert served == 2 * 3
+
+    def test_validation(self):
+        examples = np.zeros((1, 2))
+        with pytest.raises(ValueError):
+            ClosedLoopSource(0, 1, examples)
+        with pytest.raises(ValueError):
+            ClosedLoopSource(1, 0, examples)
+        with pytest.raises(ValueError):
+            ClosedLoopSource(1, 1, examples, think_time=-1.0)

@@ -36,6 +36,115 @@ class TestParsing:
                                        "--batch", "8", "--virtual-nodes", "2"])
 
 
+# Minimal valid argv per subcommand, for cross-command parse coverage.
+VALID_ARGS = {
+    "train": ["train", "--workload", "mlp_synthetic", "--batch", "32",
+              "--virtual-nodes", "4"],
+    "infer": ["infer", "--workload", "mlp_synthetic", "--batch", "32",
+              "--virtual-nodes", "4"],
+    "serve": ["serve", "--workload", "mlp_synthetic",
+              "--arrival-rate", "100"],
+    "plan": ["plan", "--workload", "mlp_synthetic", "--batch", "32",
+             "--virtual-nodes", "4"],
+    "profile": ["profile", "--workload", "mlp_synthetic"],
+    "solve": ["solve", "--workload", "mlp_synthetic", "--batch", "64",
+              "--pool", "V100=2"],
+    "simulate": ["simulate"],
+    "gavel": ["gavel"],
+}
+
+
+class TestSubcommandParsing:
+    """Every subcommand parses its minimal argv and rejects bad flags."""
+
+    @pytest.mark.parametrize("command", sorted(VALID_ARGS))
+    def test_minimal_argv_parses(self, command):
+        args = build_parser().parse_args(VALID_ARGS[command])
+        assert args.command == command
+
+    @pytest.mark.parametrize("command", ["train", "infer", "serve", "simulate"])
+    def test_backend_flag_accepts_registered_names(self, command):
+        for backend in ("reference", "fused"):
+            args = build_parser().parse_args(
+                VALID_ARGS[command] + ["--backend", backend])
+            assert args.backend == backend
+
+    @pytest.mark.parametrize("command", ["train", "infer", "serve", "simulate"])
+    def test_unknown_backend_rejected(self, command):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                VALID_ARGS[command] + ["--backend", "bogus"])
+
+    def test_arena_flag_is_train_only(self):
+        args = build_parser().parse_args(VALID_ARGS["train"] + ["--no-arena"])
+        assert args.no_arena
+        for command in ("infer", "serve", "plan", "simulate"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(VALID_ARGS[command] + ["--no-arena"])
+
+    def test_fused_backend_combines_with_no_arena(self):
+        args = build_parser().parse_args(
+            VALID_ARGS["train"] + ["--backend", "fused", "--no-arena"])
+        assert args.backend == "fused" and args.no_arena
+
+    @pytest.mark.parametrize("command,missing", [
+        ("train", ["train", "--workload", "mlp_synthetic", "--batch", "32"]),
+        ("train", ["train", "--batch", "32", "--virtual-nodes", "4"]),
+        ("infer", ["infer", "--workload", "mlp_synthetic", "--batch", "32"]),
+        ("serve", ["serve", "--workload", "mlp_synthetic"]),
+        ("serve", ["serve", "--arrival-rate", "100"]),
+        ("solve", ["solve", "--workload", "mlp_synthetic", "--batch", "64"]),
+    ])
+    def test_missing_required_arguments_rejected(self, command, missing):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(missing)
+
+    @pytest.mark.parametrize("argv", [
+        ["train", "--workload", "mlp_synthetic", "--batch", "x",
+         "--virtual-nodes", "4"],
+        ["serve", "--workload", "mlp_synthetic", "--arrival-rate", "fast"],
+        ["serve", "--workload", "mlp_synthetic", "--arrival-rate", "100",
+         "--max-batch", "many"],
+        ["simulate", "--rate", "fast"],
+    ])
+    def test_non_numeric_values_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    @pytest.mark.parametrize("extra", [
+        ["--arrival-rate", "0"],
+        ["--arrival-rate", "-5"],
+        ["--duration", "0"],
+        ["--spike-duration", "-1"],
+        ["--spike-factor", "0.5"],
+        ["--max-wait", "-2"],
+        ["--max-batch", "0"],
+        ["--devices", "0"],
+        ["--initial-devices", "-1"],
+        ["--virtual-nodes", "0"],
+        ["--requests", "0"],
+        ["--slo-p99", "0"],
+    ])
+    def test_serve_out_of_range_values_rejected(self, extra):
+        argv = ["serve", "--workload", "mlp_synthetic"]
+        if "--arrival-rate" not in extra:
+            argv += ["--arrival-rate", "100"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv + extra)
+
+    def test_serve_zero_max_wait_allowed(self):
+        args = build_parser().parse_args(
+            VALID_ARGS["serve"] + ["--max-wait", "0"])
+        assert args.max_wait == 0.0
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(VALID_ARGS["serve"])
+        assert args.autoscale is False
+        assert args.max_batch >= 1
+        assert args.slo_p99 > 0
+        assert args.backend == "reference"
+
+
 class TestCommands:
     def test_plan(self, capsys):
         rc = main(["plan", "--workload", "mlp_synthetic", "--batch", "32",
@@ -52,6 +161,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "resized to 1 device(s)" in out
         assert "val acc" in out
+
+    def test_serve_fixed(self, capsys):
+        rc = main(["serve", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "200", "--duration", "1",
+                   "--devices", "2", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "requests served" in out and "latency p50 / p99" in out
+        assert "fixed mapping" in out
+
+    def test_serve_autoscaled_spike(self, capsys):
+        rc = main(["serve", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "400", "--duration", "4",
+                   "--spike-factor", "6", "--spike-duration", "1",
+                   "--devices", "8", "--autoscale", "--slo-p99", "30",
+                   "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "autoscaled" in out
+        assert "remapped" in out  # the spike must move the mapping
 
     def test_profile(self, capsys):
         rc = main(["profile", "--workload", "resnet50_imagenet",

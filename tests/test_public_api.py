@@ -17,7 +17,7 @@ def test_top_level_exports():
 @pytest.mark.parametrize("module", [
     "repro.core", "repro.framework", "repro.hardware", "repro.data",
     "repro.profiler", "repro.hetero", "repro.elastic", "repro.sched",
-    "repro.baselines", "repro.utils",
+    "repro.baselines", "repro.serving", "repro.utils",
 ])
 def test_subpackage_all_exports(module):
     mod = importlib.import_module(module)

@@ -5,7 +5,6 @@ from __future__ import annotations
 import csv
 import json
 
-import numpy as np
 import pytest
 
 from repro import TrainerConfig, VirtualFlowTrainer
