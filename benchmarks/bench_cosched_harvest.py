@@ -1,0 +1,213 @@
+"""Co-scheduling harvest frontier: one shared pool vs. static partitions.
+
+The paper's elasticity claim, pushed to its most interesting corner: a pool
+hosting *both* elastic training jobs and a latency-SLO serving deployment.
+A static partition must provision the serving side for its worst case — the
+spike — and whatever it reserves is lost to training for the whole run.  The
+co-scheduler instead lets serving ride the base load on a small lease and
+**harvest** training GPUs only while the spike lasts (training pays the §4.1
+resize stall, serving pays the §4.1 all-gather to joining devices), so
+training keeps the devices the spike does not actually need.
+
+This benchmark runs the same spiky open-loop trace (4x burst) through:
+
+* ``static-k`` — serving pinned to k devices, training pinned to pool-k,
+  for every split of the pool, and
+* ``cosched`` — the autoscaled router + co-scheduler on the shared pool.
+
+The frontier question: among policies whose whole-run p99 holds the 35 ms
+SLO, who delivers the most training goodput (steps/second)?  The
+co-scheduler must beat the **best** SLO-holding static split strictly —
+that is the paper's "allocations can change freely at runtime" cashed out
+as combined cluster value.  Everything is simulated time, deterministic in
+the seed; device-second conservation is audited by the shared pool.
+
+Results persist as ``results/cosched_harvest.txt`` and
+``results/BENCH_cosched_harvest.json``.  ``--smoke`` runs a tiny trace with
+no gate, for CI breakage detection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List
+
+from _common import report, save_bench_json
+from repro.elastic import spike_phases
+from repro.sched import resident_training_jobs, run_cosched
+
+WORKLOAD = "mlp_synthetic"
+TRAIN_WORKLOAD = "resnet56_cifar10"
+POOL = 8
+SLO_P99 = 0.035          # seconds — the 35 ms frontier
+BASE_RATE = 500.0        # req/s; the spike multiplies this
+SPIKE = 5.0
+MAX_BATCH = 16
+MAX_WAIT = 0.002
+RESIZE_DELAY = 0.25      # training-side §4.1 stall per harvest/reclaim
+TRAIN_FLOOR = 2          # tenancy guarantee: serving never harvests below it
+TRAIN_JOBS = 2
+TRAIN_DEMAND = 4
+SEED = 1
+
+STATIC_SPLITS = (1, 2, 3, 4, 6)   # serving devices; training gets POOL - k
+
+
+def _phases(smoke: bool):
+    if smoke:
+        return spike_phases(BASE_RATE, SPIKE, base_duration=1.0,
+                            spike_duration=0.5)
+    return spike_phases(BASE_RATE, SPIKE, base_duration=4.0,
+                        spike_duration=1.5)
+
+
+def _run_policy(policy: str, smoke: bool):
+    train_specs = resident_training_jobs(TRAIN_JOBS, demand_gpus=TRAIN_DEMAND,
+                                         workload=TRAIN_WORKLOAD)
+    kwargs = dict(pool_devices=POOL, max_batch=MAX_BATCH, max_wait=MAX_WAIT,
+                  resize_delay=RESIZE_DELAY, seed=SEED)
+    if policy == "cosched":
+        kwargs.update(initial_serving=2, autoscale=True, slo_p99=SLO_P99,
+                      train_floor=TRAIN_FLOOR)
+    else:
+        kwargs.update(initial_serving=int(policy.removeprefix("static-")),
+                      autoscale=False)
+    return run_cosched(WORKLOAD, _phases(smoke), train_specs, **kwargs)
+
+
+def run(smoke: bool = False) -> Dict:
+    policies = (["static-2", "cosched"] if smoke
+                else [f"static-{k}" for k in STATIC_SPLITS] + ["cosched"])
+    results: Dict[str, Dict] = {}
+    rows: List[List[str]] = []
+    for policy in policies:
+        rep = _run_policy(policy, smoke)
+        summary = rep.summary(slo_p99=SLO_P99)
+        meets = bool(summary["serving_meets_slo"])
+        results[policy] = {
+            "p99_ms": summary["serving_latency_p99_ms"],
+            "meets_slo": meets,
+            "train_goodput_sps": summary["train_goodput_sps"],
+            "train_avg_devices": summary["train_avg_devices"],
+            "serving_avg_devices": summary["serving_avg_devices"],
+            "harvests": int(summary["harvests"]),
+            "remaps": int(summary["serving_remaps"]),
+            "harvest_timeline": [list(h) for h in rep.harvests],
+            "final_serving_devices": rep.serving.final_devices,
+        }
+        rows.append([
+            policy, f"{summary['serving_latency_p99_ms']:.1f}",
+            "yes" if meets else "NO",
+            f"{summary['train_goodput_sps']:.1f}",
+            f"{summary['train_avg_devices']:.2f}",
+            f"{summary['serving_avg_devices']:.2f}",
+            int(summary["harvests"]),
+        ])
+
+    eligible_static = {p: r["train_goodput_sps"] for p, r in results.items()
+                       if p.startswith("static-") and r["meets_slo"]}
+    best_static = max(eligible_static.values(), default=0.0)
+    best_static_name = max(eligible_static, key=eligible_static.get,
+                           default=None)
+    cosched = results["cosched"]
+    headline = (cosched["train_goodput_sps"] / best_static
+                if best_static > 0 else float("inf"))
+
+    report("cosched_harvest",
+           ["policy", "p99 ms", f"p99<={SLO_P99*1e3:.0f}ms",
+            "train steps/s", "train devs", "serve devs", "harvests"],
+           rows,
+           title=f"Harvest frontier: {WORKLOAD} serving + {TRAIN_JOBS}x"
+                 f"{TRAIN_WORKLOAD} training on one pool of {POOL} V100s, "
+                 f"rate {BASE_RATE:.0f}/s with {SPIKE:.0f}x spike "
+                 f"(seed {SEED})",
+           notes=f"best SLO-holding static split: "
+                 f"{best_static_name or 'none'} at {best_static:.1f} "
+                 f"steps/s; cosched must beat it strictly while holding "
+                 f"the same {SLO_P99*1e3:.0f} ms p99 SLO")
+    payload = {
+        "smoke": smoke,
+        "workload": WORKLOAD,
+        "train_workload": TRAIN_WORKLOAD,
+        "pool_devices": POOL,
+        "slo_p99_ms": SLO_P99 * 1e3,
+        "base_rate": BASE_RATE,
+        "spike_factor": SPIKE,
+        "resize_delay_s": RESIZE_DELAY,
+        "seed": SEED,
+        "results": results,
+        "best_static_goodput": best_static,
+        "best_static_policy": best_static_name,
+        "speedup": headline,  # goodput ratio: cosched vs best static split
+    }
+    path = save_bench_json("cosched_harvest", payload)
+    print(f"wrote {os.path.relpath(path, os.getcwd())}")
+    return payload
+
+
+# One full frontier run shared by every gate test: rerunning in smoke mode
+# would clobber results/cosched_harvest.txt and BENCH_cosched_harvest.json
+# with tiny-trace numbers, and CI publishes those files as artifacts.
+_FULL_PAYLOAD: Dict = {}
+
+
+def _full_payload() -> Dict:
+    if not _FULL_PAYLOAD:
+        _FULL_PAYLOAD.update(run(smoke=False))
+    return _FULL_PAYLOAD
+
+
+def test_cosched_harvest_frontier():
+    """Cosched must out-goodput every SLO-holding static split, in-SLO.
+
+    All quantities are simulated time — deterministic in the pinned seed —
+    so unlike the wall-clock gates this one has no noise tolerance.
+    """
+    payload = _full_payload()
+    cosched = payload["results"]["cosched"]
+    assert cosched["meets_slo"], (
+        f"cosched blew the SLO: p99 {cosched['p99_ms']:.1f} ms")
+    assert cosched["harvests"] > 0, "the spike never harvested training GPUs"
+    best_static = payload["best_static_goodput"]
+    assert best_static > 0, "no static split held the SLO at all"
+    assert cosched["train_goodput_sps"] > best_static, (
+        f"cosched goodput {cosched['train_goodput_sps']:.1f} steps/s does "
+        f"not beat the best static split ({best_static:.1f} steps/s)")
+
+
+def test_harvest_returns_devices_after_spike():
+    """Harvested devices must flow back to training once the p99 recovers."""
+    payload = _full_payload()
+    cosched = payload["results"]["cosched"]
+    timeline = cosched["harvest_timeline"]
+    assert timeline, "the full trace must move the training budget"
+    # At least one real harvest (budget shrank) ...
+    assert any(after < before for _, before, after in timeline)
+    # ... and the final budget hands training everything serving released.
+    pool = payload["pool_devices"]
+    assert timeline[-1][2] == pool - cosched["final_serving_devices"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny config, no frontier gate (CI breakage "
+                             "check)")
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke)
+    if args.smoke:
+        return 0
+    cosched = payload["results"]["cosched"]
+    ok = (cosched["meets_slo"]
+          and cosched["train_goodput_sps"] > payload["best_static_goodput"])
+    if not ok:
+        print("WARNING: cosched did not beat the best static split inside "
+              "the SLO", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ Commands mirror the library's main entry points:
 * ``serve``    — online serving: admit a Poisson request stream, coalesce
   micro-batches, and (optionally) autoscale the virtual-node→device
   mapping against a p99 SLO;
+* ``cosched``  — co-scheduled training + serving on one shared device
+  pool: the co-scheduler harvests training GPUs during serving spikes and
+  returns them when the p99 recovers;
 * ``plan``     — show the execution plan (waves, memory, predicted step
   time) for a configuration without training;
 * ``profile``  — run the offline profiler for a workload across device
@@ -48,7 +51,7 @@ from repro.framework import WORKLOADS, get_workload
 from repro.hardware import Cluster
 from repro.hetero import HeterogeneousSolver
 from repro.profiler import OfflineProfiler
-from repro.sched import GavelSimulator
+from repro.sched import GavelSimulator, resident_training_jobs, run_cosched
 from repro.serving import serve_workload
 from repro.utils import format_duration, format_table
 
@@ -94,6 +97,7 @@ _positive_float = _bounded(float, 0.0)
 _nonnegative_float = _bounded(float, 0.0, exclusive=False)
 _spike_factor = _bounded(float, 1.0, exclusive=False)
 _positive_int = _bounded(int, 0)
+_nonnegative_int = _bounded(int, 0, exclusive=False)
 
 
 def _parse_resize(text: str):
@@ -180,6 +184,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cap on admitted requests")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--backend", choices=backend_names(), default="reference")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the runtime's JSONL event timeline here")
+
+    cosched = sub.add_parser(
+        "cosched", help="co-scheduled training + serving on one shared pool")
+    cosched.add_argument("--workload", required=True, choices=sorted(WORKLOADS),
+                         help="the serving workload (training jobs come from "
+                              "--train-workload)")
+    cosched.add_argument("--arrival-rate", type=_positive_float, required=True,
+                         help="base request arrivals per second (open-loop "
+                              "Poisson)")
+    cosched.add_argument("--duration", type=_positive_float, default=8.0,
+                         help="seconds of base load (split around the spike)")
+    cosched.add_argument("--spike-factor", type=_spike_factor, default=4.0,
+                         help="multiply the rate by this for a mid-trace spike")
+    cosched.add_argument("--spike-duration", type=_positive_float, default=2.0,
+                         help="seconds the spike lasts")
+    cosched.add_argument("--max-batch", type=_positive_int, default=16)
+    cosched.add_argument("--max-wait", type=_nonnegative_float, default=2.0,
+                         help="micro-batch wait budget, milliseconds")
+    cosched.add_argument("--devices", type=_positive_int, default=8,
+                         help="shared pool size")
+    cosched.add_argument("--device-type", default="V100")
+    cosched.add_argument("--initial-serving", type=_positive_int, default=1,
+                         help="devices the router starts with")
+    cosched.add_argument("--slo-p99", type=_positive_float, default=35.0,
+                         help="p99 latency objective, milliseconds")
+    cosched.add_argument("--static", action="store_true",
+                         help="freeze the partition at --initial-serving "
+                              "(the baseline the harvest frontier beats)")
+    cosched.add_argument("--train-jobs", type=_positive_int, default=2,
+                         help="resident elastic training jobs on the pool")
+    cosched.add_argument("--train-workload", default="resnet56_cifar10",
+                         choices=sorted(WORKLOADS))
+    cosched.add_argument("--train-demand", type=_positive_int, default=4,
+                         help="GPUs each training job demands")
+    cosched.add_argument("--train-floor", type=_nonnegative_int, default=0,
+                         help="devices serving may never harvest")
+    cosched.add_argument("--resize-delay", type=_nonnegative_float, default=0.5,
+                         help="training-side §4.1 resize stall, seconds")
+    cosched.add_argument("--requests", type=_positive_int, default=None,
+                         help="cap on admitted requests")
+    cosched.add_argument("--seed", type=int, default=0)
+    cosched.add_argument("--backend", choices=backend_names(), default="reference")
+    cosched.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write the runtime's JSONL event timeline here")
 
     plan = sub.add_parser("plan", help="show the execution plan for a config")
     plan.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
@@ -209,6 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--backend", choices=backend_names(), default="reference",
                           help="execution backend stamped on every job in "
                                "the trace")
+    simulate.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="write the runtime's JSONL event timeline "
+                               "here (elastic scheduler run only)")
 
     gavel = sub.add_parser("gavel", help="Gavel vs Gavel+heterogeneous")
     gavel.add_argument("--jobs", type=int, default=12)
@@ -283,7 +336,8 @@ def _cmd_serve(args) -> int:
         virtual_nodes=args.virtual_nodes,
         initial_devices=args.initial_devices,
         autoscale=args.autoscale, slo_p99=slo if args.autoscale else None,
-        backend=args.backend, seed=args.seed, limit=args.requests)
+        backend=args.backend, seed=args.seed, limit=args.requests,
+        trace=args.trace_out)
     summary = report.summary(slo_p99=slo)
     rows = [
         ["requests served", f"{int(summary['requests'])}"],
@@ -313,6 +367,58 @@ def _cmd_serve(args) -> int:
     for when, old, new, cost in report.scaling_events:
         print(f"  t={when:7.3f}s  remapped {old} -> {new} devices "
               f"(cost {cost*1e3:.1f} ms)")
+    if args.trace_out:
+        print(f"event timeline written to {args.trace_out}")
+    return 0
+
+
+def _cmd_cosched(args) -> int:
+    phases = spike_phases(args.arrival_rate, args.spike_factor,
+                          base_duration=args.duration / 2,
+                          spike_duration=args.spike_duration)
+    slo = args.slo_p99 / 1e3
+    train_specs = resident_training_jobs(
+        args.train_jobs, demand_gpus=args.train_demand,
+        workload=args.train_workload)
+    report = run_cosched(
+        args.workload, phases, train_specs,
+        pool_devices=args.devices, device_type=args.device_type,
+        max_batch=args.max_batch, max_wait=args.max_wait / 1e3,
+        initial_serving=args.initial_serving,
+        autoscale=not args.static, slo_p99=None if args.static else slo,
+        train_floor=args.train_floor, resize_delay=args.resize_delay,
+        backend=args.backend, seed=args.seed, limit=args.requests,
+        trace=args.trace_out)
+    summary = report.summary(slo_p99=slo)
+    rows = [
+        ["requests served", f"{int(summary['serving_requests'])}"],
+        ["serving p50 / p99", f"{summary['serving_latency_p50_ms']:.2f} / "
+                              f"{summary['serving_latency_p99_ms']:.2f} ms"],
+        [f"SLO p99 <= {args.slo_p99:.0f} ms",
+         f"{'MET' if summary['serving_meets_slo'] else 'MISSED'} "
+         f"(attainment {summary['serving_slo_attainment']:.1%})"],
+        ["serving devices (avg)", f"{summary['serving_avg_devices']:.2f}"],
+        ["training goodput", f"{summary['train_goodput_sps']:.1f} steps/s "
+                             f"({summary['train_steps']:.0f} steps)"],
+        ["training devices (avg)", f"{summary['train_avg_devices']:.2f}"],
+        ["harvests / remaps", f"{int(summary['harvests'])} / "
+                              f"{int(summary['serving_remaps'])}"],
+        ["sim duration", format_duration(summary["duration_s"])],
+    ]
+    mode = "static partition" if args.static else "co-scheduled"
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.workload} serving + {args.train_jobs}x "
+              f"{args.train_workload} on a shared pool of "
+              f"{args.devices}x{args.device_type} ({mode}), "
+              f"rate {args.arrival_rate:.0f}/s with "
+              f"{args.spike_factor:.0f}x spike"))
+    for when, before, after in report.harvests:
+        verb = "harvested" if after < before else "restored"
+        print(f"  t={when:7.3f}s  {verb} training budget {before} -> {after} "
+              f"GPUs")
+    if args.trace_out:
+        print(f"event timeline written to {args.trace_out}")
     return 0
 
 
@@ -361,8 +467,11 @@ def _cmd_simulate(args) -> int:
                            backend=args.backend)
     rows = []
     for scheduler in (ElasticWFSScheduler(), StaticPriorityScheduler()):
+        # The JSONL timeline (when asked for) records the elastic run — the
+        # scheduler the paper's figures are about.
+        trace_out = args.trace_out if scheduler.elastic else None
         metrics = compute_metrics(
-            ClusterSimulator(args.gpus, scheduler).run(trace))
+            ClusterSimulator(args.gpus, scheduler).run(trace, trace=trace_out))
         rows.append([metrics.scheduler_name,
                      format_duration(metrics.makespan),
                      format_duration(metrics.median_jct),
@@ -372,6 +481,8 @@ def _cmd_simulate(args) -> int:
         ["scheduler", "makespan", "median JCT", "median queue", "util"], rows,
         title=f"{args.jobs} jobs at {args.rate}/h on {args.gpus} GPUs "
               f"(backend={args.backend})"))
+    if args.trace_out:
+        print(f"event timeline written to {args.trace_out}")
     return 0
 
 
@@ -394,6 +505,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "infer": _cmd_infer,
     "serve": _cmd_serve,
+    "cosched": _cmd_cosched,
     "plan": _cmd_plan,
     "profile": _cmd_profile,
     "solve": _cmd_solve,

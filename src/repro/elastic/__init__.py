@@ -3,7 +3,11 @@ weighted-fair-sharing scheduler (Algorithm 1), and the static priority
 baseline."""
 
 from repro.elastic.jobs import JobSpec, JobState, JobStatus
-from repro.elastic.simulator import ClusterSimulator, SimulationResult
+from repro.elastic.simulator import (
+    ClusterSimulator,
+    SimulationResult,
+    TrainingClusterProcess,
+)
 from repro.elastic.wfs import ElasticWFSScheduler
 from repro.elastic.priority import StaticPriorityScheduler
 from repro.elastic.trace import (
@@ -28,6 +32,7 @@ __all__ = [
     "SimulationResult",
     "StaticPriorityScheduler",
     "TABLE3_WORKLOADS",
+    "TrainingClusterProcess",
     "TraceJob",
     "TraceMetrics",
     "apply_policy",

@@ -2,9 +2,19 @@
 
 Between events every running job progresses at a constant rate determined by
 its current allocation (steps/second from the perf model).  Events are job
-arrivals and completions; after each event the scheduler recomputes target
-allocations, resizes are applied (with a migration delay for elastic
+arrivals and predicted completions; after each event the scheduler recomputes
+target allocations, resizes are applied (with a migration delay for elastic
 schedulers), and completion times are re-predicted.
+
+The simulation runs on the shared discrete-event runtime
+(:mod:`repro.runtime`): :class:`TrainingClusterProcess` posts arrival events
+and per-job completion-prediction (ETA) events on the heap-based
+:class:`~repro.runtime.core.EventQueue`, invalidating and rescheduling an
+ETA whenever a reallocation (or float drift from an advance) moves the
+prediction — replacing the old per-iteration linear next-finish scan.  Job
+allocations are held as :class:`~repro.runtime.pool.DevicePool` leases, so
+per-job device-seconds come from the same audited accounting the serving
+router uses, and a co-scheduler can run training and serving on one pool.
 
 The simulator records per-job allocation logs — exactly what Figures 10a/10b
 and 11 plot — and feeds :mod:`repro.elastic.metrics`.
@@ -13,12 +23,21 @@ and 11 plot — and feeds :mod:`repro.elastic.metrics`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.elastic.jobs import JobSpec, JobState, JobStatus
 from repro.hardware.perfmodel import PerfModel
+from repro.runtime import (
+    DeviceLease,
+    DevicePool,
+    Event,
+    EventTrace,
+    Runtime,
+    open_trace,
+)
 
-__all__ = ["ClusterSimulator", "SimulationResult", "Scheduler"]
+__all__ = ["ClusterSimulator", "SimulationResult", "Scheduler",
+           "TrainingClusterProcess"]
 
 _EPS = 1e-9
 
@@ -44,6 +63,8 @@ class SimulationResult:
     makespan: float
     # (time, {job_id: gpus}) snapshots after every event.
     allocation_history: List[Tuple[float, Dict[int, int]]] = field(default_factory=list)
+    # Per-job device-seconds from the pool's lease accounting.
+    device_seconds: Dict[int, float] = field(default_factory=dict)
 
     def job(self, job_id: int) -> JobState:
         return self.jobs[job_id]
@@ -63,6 +84,278 @@ class SimulationResult:
         return busy / (self.total_gpus * self.makespan)
 
 
+class TrainingClusterProcess:
+    """The elastic training cluster as a runtime process.
+
+    Owns the job states of one trace and reacts to two event kinds on the
+    shared queue:
+
+    * ``arrival`` — one per job, posted up front at the spec's arrival time;
+    * ``eta`` — the predicted completion of one running job under its
+      current allocation and resize stall.
+
+    Every event wake advances all running jobs to the wake time, admits any
+    arrivals at that instant, retires completed jobs, reallocates through
+    the pluggable :class:`Scheduler` when membership changed, and then
+    re-validates every running job's ETA — cancelling and rescheduling the
+    prediction when a resize (or the advance itself) moved it.
+
+    ``gpu_budget`` is the share of the pool the scheduler may hand out; a
+    co-scheduler shrinks and restores it at runtime via :meth:`set_budget`
+    to harvest devices for serving spikes.  Job allocations are mirrored
+    into :class:`~repro.runtime.pool.DevicePool` leases (one per job) for
+    audited device-second accounting.
+    """
+
+    def __init__(self, specs: Sequence[JobSpec], scheduler: Scheduler,
+                 gpu_budget: int, pool: DevicePool,
+                 resize_delay: float = 1.0,
+                 perf: Optional[PerfModel] = None,
+                 max_time: float = 10_000_000.0,
+                 name: str = "train") -> None:
+        if not specs:
+            raise ValueError("no jobs in trace")
+        ids = [s.job_id for s in specs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids in trace")
+        if gpu_budget < 0:
+            raise ValueError("gpu_budget must be >= 0")
+        self.name = name
+        self.scheduler = scheduler
+        self.gpu_budget = gpu_budget
+        self.pool = pool
+        self.resize_delay = resize_delay
+        self.perf = perf or PerfModel()
+        self.max_time = max_time
+        self.jobs: Dict[int, JobState] = {s.job_id: JobState(spec=s) for s in specs}
+        self.arrived: List[JobState] = []
+        self.history: List[Tuple[float, Dict[int, int]]] = []
+        self.resize_events: List[Tuple[float, int, int, int]] = []  # (t, job, old, new)
+        self._arrivals = sorted(specs, key=lambda s: (s.arrival_time, s.job_id))
+        self._next_arrival = 0
+        self._stall_until: Dict[int, float] = {}
+        self._rates: Dict[int, float] = {}
+        self._rate_cache: Dict[Tuple[int, int], float] = {}
+        self._eta_events: Dict[int, Event] = {}
+        self._arrival_events: Dict[int, Event] = {}
+        self._leases: Dict[int, DeviceLease] = {}
+        self._lease_seconds: Dict[int, float] = {}
+        self._time = 0.0
+        self._runtime: Optional[Runtime] = None
+
+    # -- process protocol ----------------------------------------------------
+
+    def start(self, runtime: Runtime) -> None:
+        self._runtime = runtime
+        for spec in self._arrivals:
+            self._arrival_events[spec.job_id] = runtime.at(
+                spec.arrival_time, self._wake, kind="arrival", actor=self.name)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def active_jobs(self) -> List[JobState]:
+        return [j for j in self.arrived if j.status != JobStatus.FINISHED]
+
+    def unfinished(self) -> List[JobState]:
+        return [j for j in self.jobs.values() if j.status != JobStatus.FINISHED]
+
+    def steps_done(self) -> float:
+        """Total training steps completed across all jobs (the goodput sum)."""
+        return sum(j.steps_done for j in self.jobs.values())
+
+    def _rate(self, job: JobState) -> float:
+        """Steps/second at the job's current allocation (memoized: the rate
+        is a pure function of (spec, gpus) under a fixed perf model)."""
+        key = (job.job_id, job.gpus)
+        rate = self._rate_cache.get(key)
+        if rate is None:
+            rate = job.spec.throughput_steps(job.gpus, self.perf)
+            self._rate_cache[key] = rate
+        return rate
+
+    # -- the event wake ------------------------------------------------------
+
+    def _wake(self, t: float) -> Dict[str, object]:
+        if t > self.max_time:
+            raise RuntimeError(f"simulation exceeded max_time={self.max_time}")
+        self.advance_to(t)
+        arrived = self._drain_arrivals(t)
+        completed = self._complete(t)
+        if arrived or completed:
+            self._reallocate(t)
+        self._refresh_etas(t)
+        data: Dict[str, object] = {}
+        if arrived:
+            data["arrived"] = arrived
+        if completed:
+            data["completed"] = completed
+        if arrived or completed:
+            data["allocation"] = {j.job_id: j.gpus for j in self.arrived
+                                  if j.status == JobStatus.RUNNING}
+        return data
+
+    def advance_to(self, t: float) -> None:
+        """Progress every running job from the last event time to ``t``."""
+        for job in self.arrived:
+            if job.status == JobStatus.FINISHED:
+                continue
+            rate = self._rates.get(job.job_id)
+            if rate is not None:
+                start = max(self._time, self._stall_until.get(job.job_id, self._time))
+                span = max(0.0, t - start)
+                job.steps_done = min(job.spec.total_steps,
+                                     job.steps_done + span * rate)
+        self._time = t
+
+    def _drain_arrivals(self, t: float) -> List[int]:
+        admitted: List[int] = []
+        while (self._next_arrival < len(self._arrivals)
+               and self._arrivals[self._next_arrival].arrival_time <= t + _EPS):
+            spec = self._arrivals[self._next_arrival]
+            self.arrived.append(self.jobs[spec.job_id])
+            # The arrival was absorbed by this wake; its own event (the same
+            # instant, or within EPS) must not fire a second time.
+            self._arrival_events.pop(spec.job_id).cancel()
+            self._next_arrival += 1
+            admitted.append(spec.job_id)
+        return admitted
+
+    def _complete(self, t: float) -> List[int]:
+        finished: List[int] = []
+        for job in self.arrived:
+            if (job.status == JobStatus.RUNNING
+                    and job.remaining_steps <= _EPS * max(1, job.spec.total_steps)):
+                job.steps_done = job.spec.total_steps
+                job.finish_time = t
+                job.status = JobStatus.FINISHED
+                job.allocation_log.append((t, 0))
+                job.gpus = 0
+                self._rates.pop(job.job_id, None)
+                event = self._eta_events.pop(job.job_id, None)
+                if event is not None:
+                    event.cancel()
+                lease = self._leases.pop(job.job_id, None)
+                if lease is not None:
+                    self._lease_seconds[job.job_id] = self.pool.release(lease, t)
+                finished.append(job.job_id)
+        return finished
+
+    def _reallocate(self, now: float) -> None:
+        running = [j for j in self.arrived if j.status == JobStatus.RUNNING]
+        queued = [j for j in self.arrived if j.status == JobStatus.QUEUED]
+        target = self.scheduler.allocate(now, self.gpu_budget, running, queued)
+        used = sum(target.values())
+        if used > self.gpu_budget:
+            raise RuntimeError(
+                f"{self.scheduler.name} over-allocated {used} of "
+                f"{self.gpu_budget} GPUs at t={now:.1f}"
+            )
+        for job in self.arrived:
+            if job.status == JobStatus.FINISHED:
+                continue
+            new_gpus = target.get(job.job_id, 0)
+            if new_gpus != job.gpus:
+                was_running = job.gpus > 0
+                self.resize_events.append((now, job.job_id, job.gpus, new_gpus))
+                job.set_allocation(now, new_gpus)
+                if was_running and new_gpus > 0 and self.scheduler.elastic:
+                    self._stall_until[job.job_id] = now + self.resize_delay
+        self._rates = {
+            job.job_id: self._rate(job)
+            for job in self.arrived
+            if job.status == JobStatus.RUNNING and job.gpus > 0
+        }
+        self._sync_leases(now)
+        self.history.append((now, {j.job_id: j.gpus for j in self.arrived
+                                   if j.status == JobStatus.RUNNING}))
+
+    def _sync_leases(self, now: float) -> None:
+        """Mirror the new allocation into pool leases, shrinks before grows
+        so a rebalance never transiently over-draws the pool."""
+        live = [j for j in self.arrived if j.status != JobStatus.FINISHED]
+        for job in live:
+            lease = self._leases.get(job.job_id)
+            if lease is not None and job.gpus < lease.size:
+                self.pool.resize(lease, job.gpus, now)
+        for job in live:
+            lease = self._leases.get(job.job_id)
+            if lease is None:
+                if job.gpus > 0:
+                    self._leases[job.job_id] = self.pool.acquire(
+                        f"{self.name}/job-{job.job_id}", job.gpus, now)
+            elif job.gpus > lease.size:
+                self.pool.resize(lease, job.gpus, now)
+
+    def _refresh_etas(self, t: float) -> None:
+        """Re-validate every running job's completion prediction.
+
+        A prediction is recomputed from the freshly advanced progress; the
+        queued ETA event survives only if it still matches exactly —
+        otherwise it is invalidated (cancelled in place) and rescheduled.
+        Reallocations move predictions wholesale; even without one, the
+        advance's floating-point accumulation can drift a prediction by an
+        ulp, and the golden traces pin the recomputed value.
+        """
+        assert self._runtime is not None
+        for job in self.arrived:
+            if job.status != JobStatus.RUNNING:
+                continue
+            rate = self._rates.get(job.job_id)
+            if rate is None:
+                continue
+            start = max(t, self._stall_until.get(job.job_id, t))
+            eta = start + job.remaining_steps / rate
+            event = self._eta_events.get(job.job_id)
+            if event is not None and event.alive and event.time == eta:
+                continue
+            if event is not None:
+                event.cancel()
+            self._eta_events[job.job_id] = self._runtime.at(
+                eta, self._wake, kind="eta", actor=self.name)
+
+    # -- co-scheduling hooks -------------------------------------------------
+
+    def set_budget(self, now: float, budget: int) -> None:
+        """Change the scheduler's GPU budget mid-run (harvest / restore).
+
+        Advances jobs to ``now`` first so the reallocation, its §4.1 resize
+        stalls, and the lease accounting all land on the current instant.
+        """
+        if budget < 0:
+            raise ValueError("gpu_budget must be >= 0")
+        if budget == self.gpu_budget:
+            return
+        self.advance_to(now)
+        self.gpu_budget = budget
+        self._complete(now)
+        self._reallocate(now)
+        self._refresh_etas(now)
+
+    def device_seconds(self) -> Dict[int, float]:
+        """Per-job device-seconds accrued by the pool's lease accounting."""
+        out = dict(self._lease_seconds)
+        for job_id, lease in self._leases.items():
+            out[job_id] = lease.device_seconds
+        return out
+
+    # -- results -------------------------------------------------------------
+
+    def result(self, total_gpus: Optional[int] = None) -> SimulationResult:
+        makespan = max((j.finish_time or 0.0) for j in self.jobs.values())
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            total_gpus=total_gpus if total_gpus is not None else self.gpu_budget,
+            jobs=self.jobs,
+            makespan=makespan,
+            allocation_history=self.history,
+            device_seconds=self.device_seconds(),
+        )
+
+
 class ClusterSimulator:
     """Simulates a trace of jobs on a homogeneous GPU cluster."""
 
@@ -78,112 +371,23 @@ class ClusterSimulator:
         self.perf = perf or PerfModel()
 
     def run(self, specs: Sequence[JobSpec], max_time: float = 10_000_000.0,
-            ) -> SimulationResult:
-        """Simulate until all jobs finish (or ``max_time``)."""
-        if not specs:
-            raise ValueError("no jobs in trace")
-        ids = [s.job_id for s in specs]
-        if len(set(ids)) != len(ids):
-            raise ValueError("duplicate job ids in trace")
-        jobs: Dict[int, JobState] = {s.job_id: JobState(spec=s) for s in specs}
-        arrivals = sorted(specs, key=lambda s: (s.arrival_time, s.job_id))
-        next_arrival_idx = 0  # index walk: no O(n) pop(0) per arrival
-        arrived: List[JobState] = []
-        history: List[Tuple[float, Dict[int, int]]] = []
-        # Per-job progress penalty applied at the next advance (resize cost).
-        stall_until: Dict[int, float] = {}
-        time = 0.0
+            trace: Optional[Union[str, EventTrace]] = None) -> SimulationResult:
+        """Simulate until all jobs finish (or ``max_time``).
 
-        def reallocate(now: float) -> None:
-            running = [j for j in arrived if j.status == JobStatus.RUNNING]
-            queued = [j for j in arrived if j.status == JobStatus.QUEUED]
-            target = self.scheduler.allocate(now, self.total_gpus, running, queued)
-            used = sum(target.values())
-            if used > self.total_gpus:
-                raise RuntimeError(
-                    f"{self.scheduler.name} over-allocated {used} of "
-                    f"{self.total_gpus} GPUs at t={now:.1f}"
-                )
-            for job in arrived:
-                if job.status == JobStatus.FINISHED:
-                    continue
-                new_gpus = target.get(job.job_id, 0)
-                if new_gpus != job.gpus:
-                    was_running = job.gpus > 0
-                    job.set_allocation(now, new_gpus)
-                    if was_running and new_gpus > 0 and self.scheduler.elastic:
-                        stall_until[job.job_id] = now + self.resize_delay
-            history.append((now, {j.job_id: j.gpus for j in arrived
-                                  if j.status == JobStatus.RUNNING}))
-
-        while True:
-            active = [j for j in arrived if j.status != JobStatus.FINISHED]
-            if not active and next_arrival_idx >= len(arrivals):
-                break
-            # Each running job's rate is a pure function of its allocation,
-            # which only changes at events — compute it once per iteration
-            # and share it between the completion prediction and the advance.
-            rates: Dict[int, float] = {
-                job.job_id: job.spec.throughput_steps(job.gpus, self.perf)
-                for job in active
-                if job.status == JobStatus.RUNNING and job.gpus > 0
-            }
-            # Predict the next completion under current rates.
-            next_finish: Optional[Tuple[float, JobState]] = None
-            for job in active:
-                rate = rates.get(job.job_id)
-                if rate is None:
-                    continue
-                start = max(time, stall_until.get(job.job_id, time))
-                eta = start + job.remaining_steps / rate
-                if next_finish is None or eta < next_finish[0]:
-                    next_finish = (eta, job)
-            next_arrival = (arrivals[next_arrival_idx].arrival_time
-                            if next_arrival_idx < len(arrivals) else None)
-            if next_finish is None and next_arrival is None:
-                raise RuntimeError(
-                    f"deadlock at t={time:.1f}: jobs queued but nothing running "
-                    f"and no arrivals pending"
-                )
-            candidates = [c for c in (
-                next_finish[0] if next_finish else None, next_arrival) if c is not None]
-            next_time = min(candidates)
-            if next_time > max_time:
-                raise RuntimeError(f"simulation exceeded max_time={max_time}")
-            # Advance all running jobs to next_time.
-            for job in active:
-                rate = rates.get(job.job_id)
-                if rate is not None:
-                    start = max(time, stall_until.get(job.job_id, time))
-                    span = max(0.0, next_time - start)
-                    job.steps_done = min(job.spec.total_steps,
-                                         job.steps_done + span * rate)
-            time = next_time
-            changed = False
-            # Arrivals at this instant.
-            while (next_arrival_idx < len(arrivals)
-                   and arrivals[next_arrival_idx].arrival_time <= time + _EPS):
-                arrived.append(jobs[arrivals[next_arrival_idx].job_id])
-                next_arrival_idx += 1
-                changed = True
-            # Completions at this instant.
-            for job in active:
-                if (job.status == JobStatus.RUNNING
-                        and job.remaining_steps <= _EPS * max(1, job.spec.total_steps)):
-                    job.steps_done = job.spec.total_steps
-                    job.finish_time = time
-                    job.status = JobStatus.FINISHED
-                    job.allocation_log.append((time, 0))
-                    job.gpus = 0
-                    changed = True
-            if changed:
-                reallocate(time)
-
-        makespan = max((j.finish_time or 0.0) for j in jobs.values())
-        return SimulationResult(
-            scheduler_name=self.scheduler.name,
-            total_gpus=self.total_gpus,
-            jobs=jobs,
-            makespan=makespan,
-            allocation_history=history,
-        )
+        ``trace`` (a path or an :class:`EventTrace`) journals the event
+        timeline as JSONL — the ``--trace-out`` export.
+        """
+        process = TrainingClusterProcess(
+            specs, self.scheduler, gpu_budget=self.total_gpus,
+            pool=DevicePool(self.total_gpus), resize_delay=self.resize_delay,
+            perf=self.perf, max_time=max_time)
+        with open_trace(trace) as writer:
+            runtime = Runtime(trace=writer)
+            runtime.add(process)
+            runtime.run()
+        if process.unfinished():
+            raise RuntimeError(
+                f"deadlock at t={process.time:.1f}: jobs queued but nothing "
+                f"running and no arrivals pending"
+            )
+        return process.result(total_gpus=self.total_gpus)

@@ -1,0 +1,218 @@
+"""The shared discrete-event core: clock, event queue, processes, runtime.
+
+Both the elastic cluster simulator (training jobs) and the serving router
+(inference traffic) are discrete-event loops over the same simulated clock;
+until this module existed each hand-rolled its own time bookkeeping and
+event ordering, which made the paper's most interesting scenario — training
+elastically donating devices to a serving spike on one shared pool —
+inexpressible.  This is the one event loop both now run on:
+
+* :class:`SimClock` — monotonic simulated time;
+* :class:`EventQueue` — a heap of :class:`Event` entries with deterministic
+  ``(time, seq)`` tie-breaking and O(1) cancellation (ETA invalidation:
+  a completion prediction that a reallocation obsoletes is cancelled in
+  place, not searched for);
+* :class:`Process` — the actor protocol: anything that registers events and
+  reacts to them (a training cluster, a request router, a co-scheduler);
+* :class:`Runtime` — drives the loop: pop the earliest live event, advance
+  the clock, dispatch to its action, optionally journal the event to a
+  :class:`~repro.runtime.trace.EventTrace` (the ``--trace-out`` JSONL
+  timeline).
+
+Determinism is a contract, not an accident: events at the same timestamp
+fire in the order they were scheduled (``seq`` is a global monotone
+counter), so every run of a fixed seed replays the identical event
+sequence — the golden-trace harness in ``tests/golden`` pins this.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.runtime.trace import EventTrace
+
+__all__ = ["Event", "EventQueue", "Process", "Runtime", "SimClock"]
+
+# An event action receives the fire time and may return a dict of fields to
+# journal on the trace timeline (or None for no extra fields).
+Action = Callable[[float], Optional[Dict[str, Any]]]
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, time: float) -> None:
+        """Move the clock forward; moving it backwards is a scheduling bug."""
+        if time < self._now:
+            raise RuntimeError(
+                f"clock cannot run backwards: {time!r} < {self._now!r}")
+        self._now = time
+
+
+class Event:
+    """One scheduled occurrence: fire ``action`` at ``time``.
+
+    Events order by ``(time, seq)`` — the sequence number is assigned at
+    scheduling time by the queue, so simultaneous events fire in the order
+    they were posted, deterministically.  ``cancel()`` marks the event dead
+    in place; the queue skips dead events when popping (lazy deletion, the
+    standard heap idiom — no O(n) removal).
+    """
+
+    __slots__ = ("time", "seq", "kind", "actor", "action", "_alive")
+
+    def __init__(self, time: float, seq: int, kind: str, actor: str,
+                 action: Action) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.actor = actor
+        self.action = action
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def cancel(self) -> None:
+        self._alive = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "" if self._alive else " CANCELLED"
+        return (f"Event(t={self.time:.6f}, seq={self.seq}, "
+                f"kind={self.kind!r}, actor={self.actor!r}{state})")
+
+
+class EventQueue:
+    """A min-heap of events with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if e.alive)
+
+    def push(self, time: float, action: Action, *, kind: str = "event",
+             actor: str = "runtime") -> Event:
+        """Schedule ``action`` at ``time``; returns the (cancellable) event."""
+        if time != time or time in (float("inf"), float("-inf")):
+            raise ValueError(f"event time must be finite, got {time!r}")
+        event = Event(time, self._seq, kind, actor, action)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek(self) -> Optional[Event]:
+        """The earliest live event without removing it (None when drained)."""
+        while self._heap and not self._heap[0].alive:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event (None when drained)."""
+        event = self.peek()
+        if event is not None:
+            heapq.heappop(self._heap)
+        return event
+
+
+@runtime_checkable
+class Process(Protocol):
+    """The actor protocol: a named participant in the event loop.
+
+    A process seeds its initial events in :meth:`start` and thereafter
+    reacts to the events it scheduled (each event's action closes over the
+    process).  Processes never call each other synchronously across
+    subsystem boundaries except through explicit mediator objects (the
+    co-scheduler), which keeps event ordering the single source of truth.
+    """
+
+    name: str
+
+    def start(self, runtime: "Runtime") -> None:
+        ...
+
+
+class Runtime:
+    """The event loop: clock + queue + registered processes + trace.
+
+    ``run()`` pops live events in ``(time, seq)`` order, advances the clock
+    to each event's time, and dispatches.  An action may schedule further
+    events (including at the current instant — they fire later this same
+    timestamp, after already-queued same-time events) and may call
+    :meth:`stop` to end the run early (a co-scheduled run stops when the
+    serving trace drains, even though training ETAs remain queued).
+    """
+
+    def __init__(self, trace: Optional[EventTrace] = None) -> None:
+        self.clock = SimClock()
+        self.queue = EventQueue()
+        self.trace = trace
+        self.processes: List[Process] = []
+        self._stopped = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def add(self, process: Process) -> None:
+        """Register a process and let it seed its initial events."""
+        self.processes.append(process)
+        process.start(self)
+
+    def at(self, time: float, action: Action, *, kind: str = "event",
+           actor: str = "runtime") -> Event:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        return self.queue.push(time, action, kind=kind, actor=actor)
+
+    def after(self, delay: float, action: Action, *, kind: str = "event",
+              actor: str = "runtime") -> Event:
+        """Schedule ``action`` ``delay`` seconds from the current clock."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.queue.push(self.clock.now + delay, action,
+                               kind=kind, actor=actor)
+
+    def stop(self) -> None:
+        """End the run after the current event's action returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Process events until the queue drains (or ``until`` / ``stop()``).
+
+        Returns the number of events processed.  ``until`` is exclusive on
+        the far side: an event at exactly ``until`` still fires.  A
+        ``stop()`` issued before the loop starts (e.g. by a process that
+        drained during registration) is honored: the loop never begins.
+        """
+        processed = 0
+        while not self._stopped:
+            event = self.queue.peek()
+            if event is None or (until is not None and event.time > until):
+                break
+            self.queue.pop()
+            self.clock.advance(event.time)
+            data = event.action(event.time)
+            processed += 1
+            self._events_processed += 1
+            if self.trace is not None:
+                self.trace.emit(event.time, event.seq, event.kind,
+                                event.actor, data)
+        return processed

@@ -1,0 +1,108 @@
+"""JSONL event-timeline export for the shared discrete-event runtime.
+
+Every run on the runtime — ``repro simulate``, ``repro serve``, and
+``repro cosched`` — can journal its event stream to a file with
+``--trace-out``.  One schema covers train, serve, and co-scheduled events,
+so a timeline is replayable/inspectable with nothing but ``jq``:
+
+.. code-block:: json
+
+    {"t": 0.1523, "seq": 42, "kind": "dispatch", "actor": "router",
+     "data": {"batch_id": 3, "size": 8, "devices": 2}}
+
+``t`` is the simulated time the event fired, ``seq`` the global scheduling
+sequence number (the deterministic tie-break — two timelines of the same
+seed are byte-identical), ``kind`` the event type, ``actor`` the process
+that scheduled it, and ``data`` whatever fields the event's action chose to
+journal (empty object when it returned None).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, IO, Iterator, Optional, Union
+
+__all__ = ["EventTrace", "open_trace", "read_trace"]
+
+
+class EventTrace:
+    """Append-only JSONL writer for runtime event timelines.
+
+    Accepts a path (opened lazily, directories created) or any writable
+    file object.  Usable as a context manager; ``close()`` is idempotent
+    and never closes a file object the caller handed in.
+    """
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        self._path: Optional[str] = None
+        self._fh: Optional[IO[str]] = None
+        self._owns = False
+        self.events_written = 0
+        if isinstance(destination, str):
+            self._path = destination
+        else:
+            self._fh = destination
+
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            assert self._path is not None
+            parent = os.path.dirname(os.path.abspath(self._path))
+            os.makedirs(parent, exist_ok=True)
+            self._fh = open(self._path, "w")
+            self._owns = True
+        return self._fh
+
+    def emit(self, t: float, seq: int, kind: str, actor: str,
+             data: Optional[Dict[str, Any]] = None) -> None:
+        """Journal one fired event as a JSONL line."""
+        line = json.dumps(
+            {"t": t, "seq": seq, "kind": kind, "actor": actor,
+             "data": data or {}},
+            sort_keys=True)
+        self._handle().write(line + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None and self._owns:
+            self._fh.close()
+            self._fh = None
+            self._owns = False
+
+    def __enter__(self) -> "EventTrace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@contextmanager
+def open_trace(trace: Union[str, "EventTrace", None],
+               ) -> Iterator[Optional["EventTrace"]]:
+    """Normalize a ``--trace-out`` argument for a runtime run.
+
+    A path becomes an :class:`EventTrace` this context owns (closed on
+    exit); an existing :class:`EventTrace` or ``None`` passes through
+    untouched — the caller keeps its lifecycle.  This is the one place the
+    close-only-what-we-created rule lives.
+    """
+    if isinstance(trace, str):
+        writer = EventTrace(trace)
+        try:
+            yield writer
+        finally:
+            writer.close()
+    else:
+        yield trace
+
+
+def read_trace(path: str) -> list:
+    """Load a JSONL timeline back into a list of event dicts."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,7 +1,18 @@
-"""Gavel-style round-based cluster scheduling (§6.5.2): the Least Attained
-Service policy over a heterogeneous cluster, with and without VirtualFlow's
-heterogeneous allocations."""
+"""Cluster scheduling policies above the core engine.
 
+Gavel-style round-based scheduling (§6.5.2): the Least Attained Service
+policy over a heterogeneous cluster, with and without VirtualFlow's
+heterogeneous allocations.  Co-scheduling: elastic training and a serving
+router sharing one device pool on the unified discrete-event runtime, with
+the :class:`CoScheduler` harvesting training GPUs during serving spikes.
+"""
+
+from repro.sched.cosched import (
+    CoschedReport,
+    CoScheduler,
+    resident_training_jobs,
+    run_cosched,
+)
 from repro.sched.gavel import (
     GavelJob,
     GavelSimulator,
@@ -10,4 +21,14 @@ from repro.sched.gavel import (
     hetero_throughput,
 )
 
-__all__ = ["GavelJob", "GavelResult", "GavelSimulator", "hetero_split", "hetero_throughput"]
+__all__ = [
+    "CoschedReport",
+    "CoScheduler",
+    "GavelJob",
+    "GavelResult",
+    "GavelSimulator",
+    "hetero_split",
+    "hetero_throughput",
+    "resident_training_jobs",
+    "run_cosched",
+]

@@ -1,0 +1,283 @@
+"""Co-scheduled training + serving on one shared device pool.
+
+The paper's elasticity story culminates here: virtual nodes decouple both a
+training job *and* a serving deployment from their hardware, so one pool can
+host both tenants and move devices between them at runtime.  The
+:class:`CoScheduler` mediates a single :class:`~repro.runtime.pool.
+DevicePool` between an elastic :class:`~repro.elastic.simulator.
+TrainingClusterProcess` and a :class:`~repro.serving.router.RequestRouter`
+running on the same :class:`~repro.runtime.core.Runtime`:
+
+* when a serving spike drives the autoscaler's target above the free
+  devices, the co-scheduler **harvests** from training — it shrinks the
+  training side's GPU budget (the WFS scheduler downsizes jobs, paying the
+  §4.1 resize stall) so the router's lease can grow (paying the §4.1
+  all-gather to its joining devices);
+* when the p99 recovers and the router sheds devices, a synchronous
+  **reclaim** right after the lease shrinks restores the training budget
+  (jobs grow back, again paying the resize stall).
+
+The invariant is simple and auditable: ``training budget = pool capacity -
+devices the router holds`` (bounded below by ``train_floor``).  Both sides'
+device-seconds come from the pool's lease accounting, so the harvest
+frontier benchmark can price exactly what each tenant held and when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.inference import InferenceEngine
+from repro.core.mapping import Mapping
+from repro.core.virtual_node import VirtualNodeSet
+from repro.data import make_dataset
+from repro.elastic.jobs import JobSpec, JobState
+from repro.elastic.simulator import Scheduler, TrainingClusterProcess
+from repro.elastic.trace import ServingPhase
+from repro.elastic.wfs import ElasticWFSScheduler
+from repro.framework.models import get_workload
+from repro.hardware.cluster import Cluster
+from repro.runtime import (
+    DeviceLease,
+    DevicePool,
+    EventTrace,
+    Runtime,
+    open_trace,
+)
+from repro.serving.autoscaler import LatencyAutoscaler
+from repro.serving.batcher import MicroBatchPolicy
+from repro.serving.generators import OpenLoopPoissonSource, RequestSource
+from repro.serving.router import RequestRouter, ServingReport, ladder_capacity
+
+__all__ = ["CoScheduler", "CoschedReport", "resident_training_jobs",
+           "run_cosched"]
+
+
+class CoScheduler:
+    """Arbitrates one device pool between training and serving tenants.
+
+    Installed on the router's rescale path twice: :meth:`grant` (the
+    ``governor``) caps every autoscaler request at the pool floor and
+    harvests training devices *before* a grow, so the free devices exist
+    when the router resizes its lease; :meth:`notify_rescaled` (the
+    ``on_rescaled`` hook) runs synchronously after the lease actually
+    moved and restores the invariant ``training budget = pool capacity -
+    serving devices`` — after a shrink the released devices are free by
+    then, and because the call is synchronous no reclaim can be lost to
+    the runtime stopping at the same instant.  Budget moves are recorded
+    in :attr:`harvests`.
+    """
+
+    def __init__(self, pool: DevicePool, training: TrainingClusterProcess,
+                 serving_lease: DeviceLease,
+                 train_floor: int = 0, name: str = "cosched") -> None:
+        if not 0 <= train_floor < pool.capacity:
+            raise ValueError(
+                f"train_floor must be in [0, {pool.capacity}), got {train_floor}")
+        self.pool = pool
+        self.training = training
+        self.serving_lease = serving_lease
+        self.train_floor = train_floor
+        self.name = name
+        # (time, training budget before, training budget after)
+        self.harvests: List[Tuple[float, int, int]] = []
+
+    def _set_budget(self, now: float, after: int) -> None:
+        before = self.training.gpu_budget
+        if after != before:
+            self.training.set_budget(now, after)
+            self.harvests.append((now, before, after))
+
+    def grant(self, now: float, target: int) -> int:
+        """Decide how many devices the router's rescale may actually take."""
+        granted = max(0, min(target, self.pool.capacity - self.train_floor))
+        if granted > self.serving_lease.size:
+            # Harvest first: the router resizes its lease right after this
+            # returns, and the devices must already be free.
+            self._set_budget(now, self.pool.capacity - granted)
+        return granted
+
+    def notify_rescaled(self, now: float) -> None:
+        """Re-establish the budget invariant after the lease moved."""
+        self._set_budget(now, self.pool.capacity - self.serving_lease.size)
+
+
+@dataclass
+class CoschedReport:
+    """Everything one co-scheduled run produced, for the harvest frontier."""
+
+    serving: ServingReport
+    jobs: Dict[int, JobState]
+    duration: float
+    pool_devices: int
+    train_floor: int
+    harvests: List[Tuple[float, int, int]] = field(default_factory=list)
+    train_device_seconds: Dict[int, float] = field(default_factory=dict)
+    events_processed: int = 0
+
+    @property
+    def train_steps(self) -> float:
+        """Total training steps completed across all jobs."""
+        return sum(j.steps_done for j in self.jobs.values())
+
+    def train_goodput(self) -> float:
+        """Training steps per simulated second over the run."""
+        return self.train_steps / self.duration if self.duration > 0 else 0.0
+
+    def train_avg_devices(self) -> float:
+        total = sum(self.train_device_seconds.values())
+        return total / self.duration if self.duration > 0 else 0.0
+
+    def summary(self, slo_p99: Optional[float] = None) -> Dict[str, float]:
+        out = {f"serving_{k}": v
+               for k, v in self.serving.summary(slo_p99=slo_p99).items()}
+        out.update({
+            "pool_devices": float(self.pool_devices),
+            "duration_s": self.duration,
+            "train_steps": self.train_steps,
+            "train_goodput_sps": self.train_goodput(),
+            "train_avg_devices": self.train_avg_devices(),
+            "harvests": float(len(self.harvests)),
+        })
+        return out
+
+
+def resident_training_jobs(num_jobs: int, demand_gpus: int = 4,
+                           workload: str = "resnet56_cifar10",
+                           global_batch_size: int = 64,
+                           vn_per_gpu: int = 2,
+                           total_steps: int = 10_000_000,
+                           priority: float = 1.0) -> List[JobSpec]:
+    """Long-running training tenants for a co-scheduled pool.
+
+    All jobs arrive at t=0 with a step budget far beyond the serving trace,
+    so the measured quantity is pure goodput (steps completed while sharing
+    the pool), not completion effects.
+    """
+    if num_jobs < 1:
+        raise ValueError(f"num_jobs must be >= 1, got {num_jobs}")
+    total_vns = demand_gpus * vn_per_gpu
+    if global_batch_size % total_vns:
+        raise ValueError(
+            f"global_batch_size {global_batch_size} must divide across "
+            f"{total_vns} virtual nodes")
+    return [
+        JobSpec(job_id=i, workload=workload,
+                global_batch_size=global_batch_size,
+                total_virtual_nodes=total_vns, demand_gpus=demand_gpus,
+                total_steps=total_steps, priority=priority, arrival_time=0.0)
+        for i in range(num_jobs)
+    ]
+
+
+def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
+                train_specs: Sequence[JobSpec], *,
+                pool_devices: int = 8, device_type: str = "V100",
+                max_batch: int = 16, max_wait: float = 0.002,
+                virtual_nodes: Optional[int] = None,
+                initial_serving: int = 1,
+                autoscale: bool = True, slo_p99: Optional[float] = None,
+                min_devices: int = 1, cooldown: float = 0.25,
+                train_floor: int = 0, resize_delay: float = 0.5,
+                scheduler: Optional[Scheduler] = None,
+                backend: object = "reference", seed: int = 0,
+                limit: Optional[int] = None,
+                source: Optional[RequestSource] = None,
+                trace: Optional[Union[str, EventTrace]] = None,
+                ) -> CoschedReport:
+    """Run elastic training jobs and a serving router on one shared pool.
+
+    The serving side mirrors :func:`~repro.serving.router.serve_workload`
+    (same workload/source/autoscaler construction); the training side is a
+    :class:`TrainingClusterProcess` whose GPU budget starts at
+    ``pool_devices - initial_serving`` and moves with every harvest/reclaim.
+    The run ends when the serving source drains; training progress is
+    settled at that instant.
+    """
+    if pool_devices < 2:
+        raise ValueError(
+            f"co-scheduling needs at least 2 pool devices, got {pool_devices}")
+    if not 1 <= initial_serving <= pool_devices - train_floor:
+        raise ValueError(
+            f"initial_serving must be in [1, {pool_devices - train_floor}], "
+            f"got {initial_serving}")
+    if autoscale and slo_p99 is None:
+        raise ValueError("autoscaling needs a p99 SLO to steer by")
+    if not train_specs:
+        raise ValueError("co-scheduling without training jobs is just serving"
+                         " — use serve_workload")
+
+    workload = get_workload(workload_name)
+    num_vns = virtual_nodes if virtual_nodes is not None else pool_devices
+    if num_vns < pool_devices:
+        raise ValueError(
+            f"virtual_nodes ({num_vns}) must be >= pool_devices "
+            f"({pool_devices}) so the full pool can be used")
+
+    dpool = DevicePool(pool_devices)
+    cluster = Cluster.homogeneous(device_type, pool_devices)
+
+    # Serving tenant: engine on the initial lease, Poisson source, and the
+    # same power-of-two allocation ladder serve_workload builds.
+    serving_lease = dpool.acquire("router", initial_serving, 0.0)
+    vn_set = VirtualNodeSet.even(num_vns, num_vns)
+    mapping = Mapping.even(vn_set,
+                           cluster.subset(list(serving_lease.device_ids)))
+    inference = InferenceEngine(workload, workload.build_model(seed), mapping,
+                                backend=backend)
+    if source is None:
+        dataset = make_dataset(workload.dataset, n=512, seed=seed)
+        source = OpenLoopPoissonSource(phases, dataset.x_val, seed=seed,
+                                       limit=limit)
+    autoscaler = None
+    if autoscale:
+        # The scaler may only target allocations the governor can actually
+        # grant: capping at the tenancy floor here keeps it from repeatedly
+        # "acting" toward an unreachable allocation (phantom decisions that
+        # clear its latency window and postpone the post-spike scale-down,
+        # which is what hands the harvested devices back to training).
+        autoscaler = LatencyAutoscaler(
+            slo_p99=slo_p99,
+            capacity=ladder_capacity(
+                workload, vn_set, cluster, max_batch, initial_serving,
+                extra_rungs=(pool_devices - train_floor,)),
+            min_devices=min_devices,
+            max_devices=min(pool_devices - train_floor, num_vns),
+            cooldown=cooldown)
+    router = RequestRouter(
+        inference, source,
+        policy=MicroBatchPolicy(max_batch=max_batch, max_wait=max_wait),
+        pool=cluster, autoscaler=autoscaler)
+
+    # Training tenant: everything the router does not hold.
+    training = TrainingClusterProcess(
+        train_specs, scheduler if scheduler is not None else ElasticWFSScheduler(),
+        gpu_budget=pool_devices - initial_serving, pool=dpool,
+        resize_delay=resize_delay)
+    cosched = CoScheduler(dpool, training, serving_lease,
+                          train_floor=train_floor)
+    with open_trace(trace) as writer:
+        runtime = Runtime(trace=writer)
+        router.bind(runtime, device_pool=dpool, lease=serving_lease,
+                    governor=cosched.grant if autoscale else None,
+                    on_rescaled=cosched.notify_rescaled if autoscale else None,
+                    on_drain=lambda t: runtime.stop())
+        runtime.add(training)
+        runtime.add(router)
+        runtime.run()
+
+    end = max(router.report.duration, runtime.now)
+    training.advance_to(end)
+    dpool.settle(end)
+    dpool.audit()
+    return CoschedReport(
+        serving=router.report,
+        jobs=training.jobs,
+        duration=end,
+        pool_devices=pool_devices,
+        train_floor=train_floor,
+        harvests=list(cosched.harvests),
+        train_device_seconds=training.device_seconds(),
+        events_processed=runtime.events_processed,
+    )

@@ -20,13 +20,21 @@ all-gather cost model training resizes pay (parameters to joining devices).
 Time model: one serving pipeline — micro-batches execute sequentially, each
 taking the bottleneck device's forward waves; arrivals keep queueing while
 the pipeline is busy.  All times are simulated seconds.
+
+The router runs as a process on the shared discrete-event runtime
+(:mod:`repro.runtime`): admission wakes, batch dispatches, completions, and
+rescales are events on the same heap-ordered queue the elastic training
+simulator uses, and the devices the autoscaler steers are held as a
+:class:`~repro.runtime.pool.DevicePool` lease — the pool owns the audited
+device-second accounting, and a co-scheduler can grow the lease out of a
+training job's harvest during a spike.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,13 +50,21 @@ from repro.elastic.trace import ServingPhase
 from repro.framework.models import Workload, get_workload
 from repro.hardware.cluster import Cluster
 from repro.hardware.perfmodel import PerfModel
+from repro.runtime import (
+    DeviceLease,
+    DevicePool,
+    EventTrace,
+    Runtime,
+    open_trace,
+)
 from repro.serving.autoscaler import AllocationProfile, LatencyAutoscaler
 from repro.serving.batcher import MicroBatchPolicy
 from repro.serving.generators import OpenLoopPoissonSource, RequestSource
 from repro.serving.request import BatchRecord, Request, RequestRecord
 from repro.telemetry import percentile
 
-__all__ = ["RequestRouter", "ServingReport", "capacity_table", "serve_workload"]
+__all__ = ["RequestRouter", "ServingReport", "capacity_table",
+           "ladder_capacity", "serve_workload"]
 
 
 def capacity_table(workload: Workload, vn_set: VirtualNodeSet, pool: Cluster,
@@ -82,6 +98,42 @@ def capacity_table(workload: Workload, vn_set: VirtualNodeSet, pool: Cluster,
                 devices=k, capacity_rps=max_batch / latency,
                 full_batch_latency=latency)
     return profiles
+
+
+def ladder_capacity(workload: Workload, vn_set: VirtualNodeSet, pool: Cluster,
+                    max_batch: int, start: int,
+                    extra_rungs: Sequence[int] = (),
+                    ) -> Dict[int, AllocationProfile]:
+    """The autoscaler's candidate allocations: a power-of-two ladder.
+
+    Always includes the full pool and the starting allocation.  ~2x
+    capacity steps dwarf both the rate-estimator noise and the hysteresis
+    band, which is what keeps the scaler from flapping between adjacent
+    allocations that straddle the offered load.  Shared by standalone
+    serving (:func:`serve_workload`) and co-scheduled serving
+    (:func:`repro.sched.cosched.run_cosched`) so the two autoscalers always
+    steer over the same rungs; ``extra_rungs`` adds policy-specific
+    allocations (the co-scheduler's grantable maximum, which a tenancy
+    floor can push off the power-of-two grid).
+
+    Rungs that add no modeled capacity over the next-smaller retained rung
+    are dropped: wave quantization makes some device counts equivalent
+    (8 virtual nodes run 2 waves on 4 devices *and* on 6), and a candidate
+    that cannot serve any faster is never worth escalating to — it would
+    only harvest devices for nothing.
+    """
+    pool_devices = len(pool.devices)
+    ladder = {1 << i for i in range(pool_devices.bit_length())}
+    ladder |= {pool_devices, start, *extra_rungs}
+    profiles = capacity_table(workload, vn_set, pool, max_batch)
+    out: Dict[int, AllocationProfile] = {}
+    best = 0.0
+    for k in sorted(ladder):
+        profile = profiles.get(k)
+        if profile is not None and profile.capacity_rps > best:
+            out[k] = profile
+            best = profile.capacity_rps
+    return out
 
 
 @dataclass
@@ -162,7 +214,7 @@ class ServingReport:
 
 
 class RequestRouter:
-    """Admit → coalesce → dispatch → (maybe) rescale, on a simulated clock.
+    """Admit → coalesce → dispatch → (maybe) rescale, on the shared runtime.
 
     Parameters
     ----------
@@ -176,19 +228,26 @@ class RequestRouter:
         The ``max_batch`` / ``max_wait`` coalescing contract.
     pool:
         The device pool scaling draws from; required when ``autoscaler`` is
-        set.  The engine's devices must be a prefix subset of the pool.
+        set.  The engine's devices must be a subset of the pool.
     autoscaler:
         Optional :class:`LatencyAutoscaler`; when None the mapping is fixed.
     collect_logits:
         Keep every request's logits row in the report (tests and small runs;
         off by default to keep big sweeps lean).
+
+    The router is a :class:`~repro.runtime.core.Process`: :meth:`run` spins
+    up a private :class:`~repro.runtime.core.Runtime`, while a co-scheduler
+    instead :meth:`bind`\\ s the router to a shared runtime/pool and supplies
+    a ``governor`` that arbitrates how many devices a rescale may actually
+    take (harvesting them from training when the pool is tight).
     """
 
     def __init__(self, inference: InferenceEngine, source: RequestSource,
                  policy: MicroBatchPolicy = MicroBatchPolicy(),
                  pool: Optional[Cluster] = None,
                  autoscaler: Optional[LatencyAutoscaler] = None,
-                 collect_logits: bool = False) -> None:
+                 collect_logits: bool = False,
+                 name: str = "router") -> None:
         if autoscaler is not None and pool is None:
             raise ValueError("autoscaling needs a device pool to draw from")
         self.inference = inference
@@ -197,8 +256,20 @@ class RequestRouter:
         self.pool = pool
         self.autoscaler = autoscaler
         self.collect_logits = collect_logits
-        self._pool_ids = (sorted(d.device_id for d in pool.devices)
-                         if pool is not None else [])
+        self.name = name
+        self.report = ServingReport()
+        self._cluster = pool if pool is not None else inference.mapping.cluster
+        self._runtime: Optional[Runtime] = None
+        self._device_pool: Optional[DevicePool] = None
+        self._lease: Optional[DeviceLease] = None
+        self._governor: Optional[Callable[[float, int], int]] = None
+        self._on_rescaled: Optional[Callable[[float], None]] = None
+        self._on_drain: Optional[Callable[[float], None]] = None
+        self._pending: Deque[Request] = deque()
+        self._server_free = 0.0
+        self._devices = self.devices
+        self._batch_id = 0
+        self._done = False
 
     # -- elasticity -----------------------------------------------------------
 
@@ -206,113 +277,222 @@ class RequestRouter:
     def devices(self) -> int:
         return len(self.inference.mapping.active_devices())
 
-    def _rescale(self, target: int) -> float:
-        """Remap onto the first ``target`` pool devices; return the cost.
+    def _rescale(self, now: float, target: int) -> Optional[float]:
+        """Resize the device lease and remap onto it; return the §4.1 cost.
 
-        The cost model is the same §4.1 all-gather training resizes pay:
-        parameters must reach joining devices, shrinking is free.
+        The cost model is the same all-gather training resizes pay:
+        parameters must reach joining devices, shrinking is free.  Under a
+        co-scheduler the ``governor`` may grant fewer devices than the
+        autoscaler asked for (the pool floor protects training); a grant
+        clipped all the way back to the current allocation is a no-op —
+        returns None, no remap, no scaling event.
         """
         vn_set = self.inference.mapping.vn_set
         target = min(target, vn_set.num_nodes)
+        if self._governor is not None:
+            target = self._governor(now, target)
+        if target == self._lease.size:
+            return None
+        self._device_pool.resize(self._lease, target, now)
         old_mapping = self.inference.mapping
         new_mapping = Mapping.even(
-            vn_set, self.pool.subset(self._pool_ids[:target]))
+            vn_set, self._cluster.subset(list(self._lease.device_ids)))
         cost = migration_time(
             old_mapping, new_mapping,
             model_bytes=self.inference.workload.footprint.param_bytes,
             state_bytes=0)
         self.inference.remap(new_mapping)
+        if self._on_rescaled is not None:
+            self._on_rescaled(now)
         return cost
+
+    # -- runtime wiring -------------------------------------------------------
+
+    def bind(self, runtime: Runtime,
+             device_pool: Optional[DevicePool] = None,
+             lease: Optional[DeviceLease] = None,
+             governor: Optional[Callable[[float, int], int]] = None,
+             on_rescaled: Optional[Callable[[float], None]] = None,
+             on_drain: Optional[Callable[[float], None]] = None) -> None:
+        """Attach the router to a runtime (shared or private).
+
+        ``device_pool``/``lease`` default to a private pool over the
+        router's cluster with the engine's current devices leased;
+        ``governor`` arbitrates rescale grants and ``on_rescaled`` fires
+        synchronously after the lease actually moved (the co-scheduler
+        restores the training budget there — the devices a shrink released
+        are free by then, and no event can be lost to a runtime stop);
+        ``on_drain`` fires once when the source is served dry (a
+        co-scheduled run stops there).
+        """
+        self._runtime = runtime
+        if device_pool is None:
+            device_pool = DevicePool(
+                sorted(d.device_id for d in self._cluster.devices))
+        self._device_pool = device_pool
+        if lease is None:
+            ids = sorted(self.inference.mapping.active_devices())
+            lease = device_pool.acquire(self.name, len(ids),
+                                        runtime.clock.now, ids=ids)
+        self._lease = lease
+        self._governor = governor
+        self._on_rescaled = on_rescaled
+        self._on_drain = on_drain
+        self._devices = self.devices
+        self._done = False
+
+    def start(self, runtime: Runtime) -> None:
+        if self._runtime is not runtime:
+            self.bind(runtime)
+        self._schedule_next()
 
     # -- the event loop -------------------------------------------------------
 
-    def run(self) -> ServingReport:
-        """Serve the source dry; return the full accounting."""
-        report = ServingReport()
-        pending: Deque[Request] = deque()
-        server_free = 0.0
-        devices = self.devices
-        device_clock = 0.0  # last time the device count changed
-        batch_id = 0
+    def run(self, trace: Optional[Union[str, EventTrace]] = None,
+            ) -> ServingReport:
+        """Serve the source dry; return the full accounting.
 
-        while True:
-            if not pending:
-                nxt = self.source.next_arrival_time()
-                if nxt is None:
-                    break
-                pending.extend(self.source.take_arrivals(nxt))
+        ``trace`` (a path or an :class:`EventTrace`) journals the event
+        timeline as JSONL — the ``--trace-out`` export.
 
-            # Pull every arrival that can influence this launch decision: the
-            # batch can fill no later than max(deadline, server_free).
-            deadline = self.policy.deadline(pending[0].arrival_time)
-            horizon = max(deadline, server_free)
-            self._admit(pending, horizon)
-            launch = max(
-                self.policy.trigger_time([r.arrival_time for r in pending]),
-                server_free)
-            # Requests landing while the batch waited for the pipeline still
-            # make this dispatch.
-            self._admit(pending, launch)
+        Each call is a fresh run with fresh accounting (a second call on a
+        drained source returns an empty report, as the pre-runtime loop
+        did): the report, queue state, and pool binding all reset.
+        """
+        self.report = ServingReport()
+        self._pending.clear()
+        self._server_free = 0.0
+        self._batch_id = 0
+        self._runtime = None  # force start() to rebind a fresh pool/lease
+        with open_trace(trace) as writer:
+            runtime = Runtime(trace=writer)
+            runtime.add(self)
+            runtime.run()
+        return self.report
 
-            batch: List[Request] = []
-            while (pending and len(batch) < self.policy.max_batch
-                   and pending[0].arrival_time <= launch):
-                batch.append(pending.popleft())
+    def _schedule_next(self) -> None:
+        """Post the event that produces the next dispatch (or finish)."""
+        if self._pending:
+            self._plan()
+            return
+        nxt = self.source.next_arrival_time()
+        if nxt is None:
+            self._finalize()
+            return
+        # The wake cannot land before the clock (the server may still be
+        # busy past the arrival); the admission cutoff stays the arrival
+        # time itself so the batch decision sees exactly the same queue.
+        wake = max(nxt, self._runtime.now)
+        self._runtime.at(
+            wake, lambda t, cutoff=nxt: self._on_admit(t, cutoff),
+            kind="admit", actor=self.name)
 
-            result = self.inference.predict_requests([r.example for r in batch])
-            completion = launch + result.sim_latency
-            records = [
-                RequestRecord(
-                    request_id=r.request_id,
-                    arrival_time=r.arrival_time,
-                    dispatch_time=launch,
-                    completion_time=completion,
-                    batch_id=batch_id,
-                    batch_size=len(batch),
-                    devices=devices,
-                    client=r.client,
-                )
-                for r in batch
-            ]
-            report.records.extend(records)
-            report.batches.append(BatchRecord(
-                batch_id=batch_id, dispatch_time=launch,
-                completion_time=completion, size=len(batch),
-                devices=devices, waves=result.waves))
-            if self.collect_logits:
-                for i, r in enumerate(batch):
-                    report.logits[r.request_id] = result.logits[i]
-            batch_id += 1
-            server_free = completion
-            self.source.on_completion(records)
+    def _on_admit(self, t: float, cutoff: float) -> Dict[str, object]:
+        self._pending.extend(self.source.take_arrivals(cutoff))
+        self._plan()
+        return {"pending": len(self._pending)}
 
-            if self.autoscaler is not None:
-                target = self.autoscaler.observe(records, completion, devices)
-                if target is not None and target != devices:
-                    cost = self._rescale(target)
+    def _plan(self) -> None:
+        """Fix this batch's launch time and post the dispatch event.
+
+        Pulls every arrival that can influence the decision: the batch can
+        fill no later than max(deadline, server_free), and requests landing
+        while the batch waits for the pipeline still make the dispatch.
+        """
+        deadline = self.policy.deadline(self._pending[0].arrival_time)
+        horizon = max(deadline, self._server_free)
+        self._admit(horizon)
+        launch = max(
+            self.policy.trigger_time([r.arrival_time for r in self._pending]),
+            self._server_free)
+        self._admit(launch)
+        self._runtime.at(launch, self._dispatch, kind="dispatch",
+                         actor=self.name)
+
+    def _dispatch(self, launch: float) -> Dict[str, object]:
+        """Coalesce the batch, run it, and post its completion event."""
+        batch: List[Request] = []
+        while (self._pending and len(batch) < self.policy.max_batch
+               and self._pending[0].arrival_time <= launch):
+            batch.append(self._pending.popleft())
+
+        result = self.inference.predict_requests([r.example for r in batch])
+        completion = launch + result.sim_latency
+        batch_id = self._batch_id
+        self._batch_id += 1
+        self._runtime.at(
+            completion,
+            lambda t: self._on_completion(t, batch, batch_id, launch, result),
+            kind="complete", actor=self.name)
+        return {"batch_id": batch_id, "size": len(batch),
+                "devices": self._devices, "waves": result.waves}
+
+    def _on_completion(self, completion: float, batch: List[Request],
+                       batch_id: int, launch: float,
+                       result) -> Dict[str, object]:
+        report = self.report
+        records = [
+            RequestRecord(
+                request_id=r.request_id,
+                arrival_time=r.arrival_time,
+                dispatch_time=launch,
+                completion_time=completion,
+                batch_id=batch_id,
+                batch_size=len(batch),
+                devices=self._devices,
+                client=r.client,
+            )
+            for r in batch
+        ]
+        report.records.extend(records)
+        report.batches.append(BatchRecord(
+            batch_id=batch_id, dispatch_time=launch,
+            completion_time=completion, size=len(batch),
+            devices=self._devices, waves=result.waves))
+        if self.collect_logits:
+            for i, r in enumerate(batch):
+                report.logits[r.request_id] = result.logits[i]
+        self._server_free = completion
+        self.source.on_completion(records)
+
+        data: Dict[str, object] = {"batch_id": batch_id, "size": len(batch)}
+        if self.autoscaler is not None:
+            target = self.autoscaler.observe(records, completion, self._devices)
+            if target is not None and target != self._devices:
+                old = self._devices
+                cost = self._rescale(completion, target)
+                if cost is not None:
                     report.scaling_events.append(
-                        (completion, devices, self.devices, cost))
-                    report.device_seconds += (completion - device_clock) * devices
-                    device_clock = completion
-                    devices = self.devices
-                    server_free = completion + cost
+                        (completion, old, self.devices, cost))
+                    self._devices = self.devices
+                    self._server_free = completion + cost
+                    data["rescale"] = {"from": old, "to": self._devices,
+                                       "cost": cost}
+        self._schedule_next()
+        return data
 
-        report.duration = server_free
-        report.device_seconds += (server_free - device_clock) * devices
-        report.final_devices = devices
-        return report
+    def _finalize(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self.report.duration = self._server_free
+        self._device_pool.settle(self._server_free)
+        self.report.device_seconds = self._lease.device_seconds
+        self.report.final_devices = self._devices
+        if self._on_drain is not None:
+            self._on_drain(self._server_free)
 
-    def _admit(self, pending: Deque[Request], until: float) -> None:
+    def _admit(self, until: float) -> None:
         """Move every arrival at or before ``until`` into the queue."""
         while True:
             nxt = self.source.next_arrival_time()
             if nxt is None or nxt > until:
                 return
-            if len(pending) >= self.policy.max_batch:
+            if len(self._pending) >= self.policy.max_batch:
                 # The decision this pull serves is already settled; later
                 # arrivals queue behind it on their own event.
                 return
-            pending.extend(self.source.take_arrivals(nxt))
+            self._pending.extend(self.source.take_arrivals(nxt))
 
 
 def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
@@ -326,6 +506,7 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
                    limit: Optional[int] = None,
                    source: Optional[RequestSource] = None,
                    collect_logits: bool = False,
+                   trace: Optional[Union[str, EventTrace]] = None,
                    ) -> ServingReport:
     """Build and run a complete serving session for a registered workload.
 
@@ -368,23 +549,13 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
                                        limit=limit)
     autoscaler = None
     if autoscale:
-        # A power-of-two allocation ladder (always including the full pool
-        # and the starting allocation): ~2x capacity steps dwarf both the
-        # rate-estimator noise and the hysteresis band, which is what keeps
-        # the scaler from flapping between adjacent allocations that
-        # straddle the offered load.
-        ladder = {1 << i for i in range(pool_devices.bit_length())}
-        ladder = {k for k in ladder if k <= pool_devices} | {pool_devices, start}
-        capacity = {
-            k: rps
-            for k, rps in capacity_table(workload, vn_set, pool, max_batch).items()
-            if k in ladder
-        }
         autoscaler = LatencyAutoscaler(
-            slo_p99=slo_p99, capacity=capacity, min_devices=min_devices,
+            slo_p99=slo_p99,
+            capacity=ladder_capacity(workload, vn_set, pool, max_batch, start),
+            min_devices=min_devices,
             max_devices=min(pool_devices, num_vns), cooldown=cooldown)
     router = RequestRouter(
         inference, source,
         policy=MicroBatchPolicy(max_batch=max_batch, max_wait=max_wait),
         pool=pool, autoscaler=autoscaler, collect_logits=collect_logits)
-    return router.run()
+    return router.run(trace=trace)

@@ -1,0 +1,137 @@
+"""Capture golden-trace fixtures for the discrete-event runtime refactor.
+
+The runtime refactor (shared ``repro.runtime`` event loop under both the
+elastic simulator and the serving router) carries a hard acceptance bar: the
+refactored implementations must be **bit-identical** to the pre-refactor
+loops on the seed traces.  This script serializes the observable outputs of
+:class:`~repro.elastic.simulator.ClusterSimulator` and
+:class:`~repro.serving.router.RequestRouter` — every float exactly as
+computed, via JSON's shortest-round-trip repr — into ``tests/golden/*.json``.
+
+The committed fixtures were captured from the pre-refactor implementations
+(commit 4c4052e).  Re-running the script regenerates them from whatever the
+current implementation produces::
+
+    PYTHONPATH=src python tests/golden/capture_golden.py
+
+so regenerate only when an *intentional* behavior change makes the old
+fixtures obsolete, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+from repro.elastic import (  # noqa: E402
+    ClusterSimulator,
+    ElasticWFSScheduler,
+    ServingPhase,
+    StaticPriorityScheduler,
+    generate_trace,
+    spike_phases,
+    three_job_trace,
+)
+from repro.serving import serve_workload  # noqa: E402
+
+
+def sim_to_dict(result) -> dict:
+    """Every observable field of a SimulationResult, floats untouched."""
+    return {
+        "scheduler_name": result.scheduler_name,
+        "total_gpus": result.total_gpus,
+        "makespan": result.makespan,
+        "utilization": result.utilization(),
+        "allocation_history": [
+            [t, {str(k): v for k, v in alloc.items()}]
+            for t, alloc in result.allocation_history
+        ],
+        "jobs": {
+            str(job_id): {
+                "status": state.status.value,
+                "gpus": state.gpus,
+                "steps_done": state.steps_done,
+                "first_alloc_time": state.first_alloc_time,
+                "finish_time": state.finish_time,
+                "allocation_log": [[t, g] for t, g in state.allocation_log],
+                "resizes": state.resizes,
+            }
+            for job_id, state in result.jobs.items()
+        },
+    }
+
+
+def serving_to_dict(report) -> dict:
+    """Every observable field of a ServingReport (logits excluded)."""
+    return {
+        "duration": report.duration,
+        "device_seconds": report.device_seconds,
+        "final_devices": report.final_devices,
+        "records": [
+            {
+                "request_id": r.request_id,
+                "arrival_time": r.arrival_time,
+                "dispatch_time": r.dispatch_time,
+                "completion_time": r.completion_time,
+                "batch_id": r.batch_id,
+                "batch_size": r.batch_size,
+                "devices": r.devices,
+                "client": r.client,
+            }
+            for r in report.records
+        ],
+        "batches": [
+            {
+                "batch_id": b.batch_id,
+                "dispatch_time": b.dispatch_time,
+                "completion_time": b.completion_time,
+                "size": b.size,
+                "devices": b.devices,
+                "waves": b.waves,
+            }
+            for b in report.batches
+        ],
+        "scaling_events": [list(e) for e in report.scaling_events],
+    }
+
+
+# The fixture matrix.  Simulation fixtures cover both schedulers on the
+# canonical §6.4.1 trace plus a 20-job Poisson trace (hundreds of events,
+# resizes, queueing); serving fixtures cover a fixed mapping and a spiky
+# autoscaled run (remaps, §4.1 costs, device-second accounting).
+def capture() -> dict:
+    fixtures = {}
+    trace3 = three_job_trace()
+    fixtures["sim_three_job_wfs"] = sim_to_dict(
+        ClusterSimulator(4, ElasticWFSScheduler()).run(trace3))
+    fixtures["sim_three_job_static"] = sim_to_dict(
+        ClusterSimulator(4, StaticPriorityScheduler()).run(trace3))
+    trace20 = generate_trace(20, 12, seed=0)
+    fixtures["sim_trace20_wfs"] = sim_to_dict(
+        ClusterSimulator(8, ElasticWFSScheduler()).run(trace20))
+
+    fixtures["serve_fixed"] = serving_to_dict(serve_workload(
+        "mlp_synthetic", [ServingPhase(1.0, 300.0)],
+        max_batch=8, max_wait=0.002, pool_devices=4, seed=0))
+    fixtures["serve_autoscaled"] = serving_to_dict(serve_workload(
+        "mlp_synthetic", spike_phases(400.0, 6.0, 3.0, 1.0),
+        max_batch=16, max_wait=0.002, pool_devices=8,
+        autoscale=True, slo_p99=0.030, initial_devices=2, seed=1))
+    return fixtures
+
+
+def main() -> int:
+    for name, payload in capture().items():
+        path = os.path.join(HERE, f"{name}.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {os.path.relpath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

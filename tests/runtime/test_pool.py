@@ -1,0 +1,133 @@
+"""DevicePool lease invariants and device-second conservation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import DevicePool, LeaseError
+
+
+class TestLeaseInvariants:
+    def test_acquire_hands_out_lowest_free_ids(self):
+        pool = DevicePool(4)
+        lease = pool.acquire("a", 2)
+        assert lease.device_ids == (0, 1)
+        assert pool.free_ids == (2, 3)
+
+    def test_no_double_lease(self):
+        pool = DevicePool(4)
+        pool.acquire("a", 2)
+        with pytest.raises(LeaseError):
+            pool.acquire("b", 2, ids=[1, 2])  # 1 is already held by "a"
+
+    def test_free_count_never_negative(self):
+        pool = DevicePool(4)
+        lease = pool.acquire("a", 3)
+        with pytest.raises(LeaseError):
+            pool.acquire("b", 2)
+        pool.resize(lease, 4, 1.0)
+        assert pool.free_count == 0
+        with pytest.raises(LeaseError):
+            pool.resize(lease, 5, 2.0)
+
+    def test_grow_takes_lowest_shrink_returns_highest(self):
+        pool = DevicePool(6)
+        lease = pool.acquire("a", 2)           # (0, 1)
+        pool.resize(lease, 4, 1.0)
+        assert lease.device_ids == (0, 1, 2, 3)
+        gained, lost = pool.resize(lease, 1, 2.0)
+        assert gained == () and lost == (1, 2, 3)
+        assert lease.device_ids == (0,)        # prefix survives
+        assert pool.free_ids == (1, 2, 3, 4, 5)
+
+    def test_solo_lease_always_holds_a_prefix(self):
+        # The property the golden serving traces rely on: a lease alone on
+        # the pool always holds exactly [0..k), whatever the resize path.
+        pool = DevicePool(8)
+        lease = pool.acquire("router", 2)
+        for step, size in enumerate((4, 1, 8, 3)):
+            pool.resize(lease, size, float(step + 1))
+            assert lease.device_ids == tuple(range(size))
+
+    def test_release_frees_everything(self):
+        pool = DevicePool(4)
+        lease = pool.acquire("a", 3)
+        pool.release(lease, 1.0)
+        assert not lease.active
+        assert pool.free_count == 4
+        with pytest.raises(LeaseError):
+            pool.resize(lease, 2, 2.0)
+        with pytest.raises(LeaseError):
+            pool.release(lease, 2.0)
+
+    def test_foreign_lease_rejected(self):
+        a, b = DevicePool(2), DevicePool(2)
+        lease = a.acquire("x", 1)
+        with pytest.raises(LeaseError):
+            b.resize(lease, 2, 1.0)
+
+    def test_explicit_ids_must_match_count(self):
+        pool = DevicePool(4)
+        with pytest.raises(ValueError):
+            pool.acquire("a", 2, ids=[0])
+
+    def test_zero_size_lease_allowed(self):
+        # A preempted training job holds a zero-size lease until devices
+        # come back; that must be representable.
+        pool = DevicePool(2)
+        lease = pool.acquire("job", 0)
+        assert lease.size == 0 and pool.free_count == 2
+        pool.resize(lease, 2, 1.0)
+        assert lease.size == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DevicePool(0)
+        with pytest.raises(ValueError):
+            DevicePool([1, 1])
+        pool = DevicePool(2)
+        with pytest.raises(ValueError):
+            pool.acquire("a", -1)
+        lease = pool.acquire("a", 1)
+        with pytest.raises(ValueError):
+            pool.resize(lease, -2, 1.0)
+
+
+class TestDeviceSecondAccounting:
+    def test_lease_accrues_at_each_size(self):
+        pool = DevicePool(8)
+        lease = pool.acquire("a", 2, 0.0)
+        pool.resize(lease, 4, 10.0)    # 2 devices for 10 s
+        pool.resize(lease, 1, 15.0)    # 4 devices for 5 s
+        pool.settle(20.0)              # 1 device for 5 s
+        assert lease.device_seconds == pytest.approx(2 * 10 + 4 * 5 + 1 * 5)
+
+    def test_time_cannot_run_backwards(self):
+        pool = DevicePool(2)
+        lease = pool.acquire("a", 1, 5.0)
+        with pytest.raises(LeaseError):
+            pool.resize(lease, 2, 4.0)
+
+    def test_conservation_audit(self):
+        pool = DevicePool(4)
+        a = pool.acquire("a", 2, 0.0)
+        b = pool.acquire("b", 1, 1.0)
+        pool.resize(a, 3, 2.0)
+        pool.release(b, 3.0)
+        audit = pool.audit(10.0)
+        assert audit["busy_device_seconds"] == pytest.approx(
+            pool.device_seconds())
+        assert (audit["busy_device_seconds"] + audit["idle_device_seconds"]
+                == pytest.approx(4 * 10.0))
+
+    def test_per_owner_attribution(self):
+        pool = DevicePool(4)
+        a = pool.acquire("train", 2, 0.0)
+        pool.acquire("serve", 1, 0.0)
+        pool.settle(8.0)
+        assert pool.device_seconds("train") == pytest.approx(16.0)
+        assert pool.device_seconds("serve") == pytest.approx(8.0)
+        assert pool.device_seconds() == pytest.approx(24.0)
+        pool.release(a, 8.0)
+        # Released leases keep contributing their history.
+        assert pool.device_seconds("train") == pytest.approx(16.0)

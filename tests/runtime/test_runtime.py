@@ -1,0 +1,168 @@
+"""The discrete-event core: clock, queue ordering, cancellation, runtime."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.runtime import EventQueue, EventTrace, Runtime, SimClock, read_trace
+
+
+class TestSimClock:
+    def test_advances_monotonically(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(1.5)  # same instant is fine
+        assert clock.now == 1.5
+        with pytest.raises(RuntimeError, match="backwards"):
+            clock.advance(1.0)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda t: fired.append("b"))
+        q.push(1.0, lambda t: fired.append("a"))
+        q.push(3.0, lambda t: fired.append("c"))
+        while (e := q.pop()) is not None:
+            e.action(e.time)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        q = EventQueue()
+        events = [q.push(1.0, lambda t: None) for _ in range(5)]
+        popped = [q.pop() for _ in range(5)]
+        assert popped == events  # FIFO among simultaneous events
+
+    def test_cancellation_is_invisible_to_pop(self):
+        q = EventQueue()
+        keep = q.push(1.0, lambda t: None)
+        dead = q.push(0.5, lambda t: None)
+        dead.cancel()
+        assert len(q) == 1
+        assert q.pop() is keep
+        assert q.pop() is None
+
+    def test_rejects_non_finite_times(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("inf"), lambda t: None)
+        with pytest.raises(ValueError):
+            q.push(float("nan"), lambda t: None)
+
+
+class TestRuntime:
+    def test_clock_follows_events(self):
+        rt = Runtime()
+        seen = []
+        rt.at(2.0, lambda t: seen.append(rt.now))
+        rt.at(1.0, lambda t: seen.append(rt.now))
+        assert rt.run() == 2
+        assert seen == [1.0, 2.0]
+        assert rt.now == 2.0
+
+    def test_actions_can_schedule_more_events(self):
+        rt = Runtime()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if len(fired) < 3:
+                rt.after(1.0, chain)
+
+        rt.at(0.0, chain)
+        rt.run()
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_same_instant_events_fire_after_queued_peers(self):
+        rt = Runtime()
+        order = []
+        rt.at(1.0, lambda t: (order.append("first"),
+                              rt.at(1.0, lambda t2: order.append("third"))))
+        rt.at(1.0, lambda t: order.append("second"))
+        rt.run()
+        assert order == ["first", "second", "third"]
+
+    def test_until_bound_is_inclusive(self):
+        rt = Runtime()
+        fired = []
+        rt.at(1.0, lambda t: fired.append(t))
+        rt.at(2.0, lambda t: fired.append(t))
+        rt.run(until=1.0)
+        assert fired == [1.0]
+        rt.run()
+        assert fired == [1.0, 2.0]
+
+    def test_stop_ends_the_loop(self):
+        rt = Runtime()
+        fired = []
+        rt.at(1.0, lambda t: (fired.append(t), rt.stop()))
+        rt.at(2.0, lambda t: fired.append(t))
+        rt.run()
+        assert fired == [1.0]
+
+    def test_stop_before_run_prevents_the_loop(self):
+        # A process that drains during registration may stop the runtime
+        # before run() is ever called; the loop must honor that.
+        rt = Runtime()
+        rt.at(1.0, lambda t: pytest.fail("must not fire"))
+        rt.stop()
+        assert rt.run() == 0
+
+    def test_process_protocol_seeds_events(self):
+        class Pinger:
+            name = "pinger"
+
+            def __init__(self):
+                self.fired = []
+
+            def start(self, runtime):
+                runtime.at(0.5, lambda t: self.fired.append(t),
+                           actor=self.name)
+
+        rt = Runtime()
+        ping = Pinger()
+        rt.add(ping)
+        rt.run()
+        assert ping.fired == [0.5]
+
+    def test_after_rejects_negative_delay(self):
+        rt = Runtime()
+        with pytest.raises(ValueError):
+            rt.after(-1.0, lambda t: None)
+
+
+class TestEventTrace:
+    def test_journals_fired_events_as_jsonl(self):
+        buf = io.StringIO()
+        rt = Runtime(trace=EventTrace(buf))
+        rt.at(1.0, lambda t: {"detail": 7}, kind="ping", actor="test")
+        rt.at(2.0, lambda t: None, kind="pong", actor="test")
+        rt.run()
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [ln["kind"] for ln in lines] == ["ping", "pong"]
+        assert lines[0] == {"t": 1.0, "seq": 0, "kind": "ping",
+                            "actor": "test", "data": {"detail": 7}}
+        assert lines[1]["data"] == {}
+
+    def test_cancelled_events_never_reach_the_trace(self):
+        buf = io.StringIO()
+        rt = Runtime(trace=EventTrace(buf))
+        rt.at(1.0, lambda t: None, kind="dead").cancel()
+        rt.at(2.0, lambda t: None, kind="live")
+        rt.run()
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [ln["kind"] for ln in lines] == ["live"]
+
+    def test_path_round_trip(self, tmp_path):
+        path = str(tmp_path / "nested" / "timeline.jsonl")
+        with EventTrace(path) as trace:
+            rt = Runtime(trace=trace)
+            rt.at(0.25, lambda t: {"x": 1}, kind="k", actor="a")
+            rt.run()
+        events = read_trace(path)
+        assert events == [{"t": 0.25, "seq": 0, "kind": "k", "actor": "a",
+                           "data": {"x": 1}}]

@@ -44,6 +44,8 @@ VALID_ARGS = {
               "--virtual-nodes", "4"],
     "serve": ["serve", "--workload", "mlp_synthetic",
               "--arrival-rate", "100"],
+    "cosched": ["cosched", "--workload", "mlp_synthetic",
+                "--arrival-rate", "100"],
     "plan": ["plan", "--workload", "mlp_synthetic", "--batch", "32",
              "--virtual-nodes", "4"],
     "profile": ["profile", "--workload", "mlp_synthetic"],
@@ -62,14 +64,16 @@ class TestSubcommandParsing:
         args = build_parser().parse_args(VALID_ARGS[command])
         assert args.command == command
 
-    @pytest.mark.parametrize("command", ["train", "infer", "serve", "simulate"])
+    @pytest.mark.parametrize("command", ["train", "infer", "serve", "cosched",
+                                         "simulate"])
     def test_backend_flag_accepts_registered_names(self, command):
         for backend in ("reference", "fused"):
             args = build_parser().parse_args(
                 VALID_ARGS[command] + ["--backend", backend])
             assert args.backend == backend
 
-    @pytest.mark.parametrize("command", ["train", "infer", "serve", "simulate"])
+    @pytest.mark.parametrize("command", ["train", "infer", "serve", "cosched",
+                                         "simulate"])
     def test_unknown_backend_rejected(self, command):
         with pytest.raises(SystemExit):
             build_parser().parse_args(
@@ -78,9 +82,19 @@ class TestSubcommandParsing:
     def test_arena_flag_is_train_only(self):
         args = build_parser().parse_args(VALID_ARGS["train"] + ["--no-arena"])
         assert args.no_arena
-        for command in ("infer", "serve", "plan", "simulate"):
+        for command in ("infer", "serve", "cosched", "plan", "simulate"):
             with pytest.raises(SystemExit):
                 build_parser().parse_args(VALID_ARGS[command] + ["--no-arena"])
+
+    @pytest.mark.parametrize("command", ["serve", "cosched", "simulate"])
+    def test_trace_out_accepted_on_runtime_commands(self, command):
+        args = build_parser().parse_args(
+            VALID_ARGS[command] + ["--trace-out", "timeline.jsonl"])
+        assert args.trace_out == "timeline.jsonl"
+        for other in ("train", "infer", "plan", "gavel"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    VALID_ARGS[other] + ["--trace-out", "x.jsonl"])
 
     def test_fused_backend_combines_with_no_arena(self):
         args = build_parser().parse_args(
@@ -93,6 +107,8 @@ class TestSubcommandParsing:
         ("infer", ["infer", "--workload", "mlp_synthetic", "--batch", "32"]),
         ("serve", ["serve", "--workload", "mlp_synthetic"]),
         ("serve", ["serve", "--arrival-rate", "100"]),
+        ("cosched", ["cosched", "--workload", "mlp_synthetic"]),
+        ("cosched", ["cosched", "--arrival-rate", "100"]),
         ("solve", ["solve", "--workload", "mlp_synthetic", "--batch", "64"]),
     ])
     def test_missing_required_arguments_rejected(self, command, missing):
@@ -132,6 +148,24 @@ class TestSubcommandParsing:
         with pytest.raises(SystemExit):
             build_parser().parse_args(argv + extra)
 
+    @pytest.mark.parametrize("extra", [
+        ["--arrival-rate", "0"],
+        ["--spike-factor", "0.5"],
+        ["--devices", "0"],
+        ["--initial-serving", "0"],
+        ["--train-jobs", "0"],
+        ["--train-demand", "0"],
+        ["--train-floor", "-1"],
+        ["--resize-delay", "-1"],
+        ["--slo-p99", "0"],
+    ])
+    def test_cosched_out_of_range_values_rejected(self, extra):
+        argv = ["cosched", "--workload", "mlp_synthetic"]
+        if "--arrival-rate" not in extra:
+            argv += ["--arrival-rate", "100"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv + extra)
+
     def test_serve_zero_max_wait_allowed(self):
         args = build_parser().parse_args(
             VALID_ARGS["serve"] + ["--max-wait", "0"])
@@ -143,6 +177,15 @@ class TestSubcommandParsing:
         assert args.max_batch >= 1
         assert args.slo_p99 > 0
         assert args.backend == "reference"
+
+    def test_cosched_defaults(self):
+        args = build_parser().parse_args(VALID_ARGS["cosched"])
+        assert args.static is False
+        assert args.devices == 8
+        assert args.train_jobs >= 1
+        assert args.slo_p99 > 0
+        assert args.trace_out is None
+        assert args.train_workload in ("resnet56_cifar10",)
 
 
 class TestCommands:
@@ -181,6 +224,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "autoscaled" in out
         assert "remapped" in out  # the spike must move the mapping
+
+    def test_cosched(self, capsys):
+        rc = main(["cosched", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "400", "--duration", "4",
+                   "--spike-factor", "5", "--spike-duration", "1",
+                   "--devices", "8", "--initial-serving", "2",
+                   "--resize-delay", "0.25", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "co-scheduled" in out and "training goodput" in out
+        assert "harvested training budget" in out
+
+    def test_cosched_static_partition(self, capsys):
+        rc = main(["cosched", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "200", "--duration", "2",
+                   "--spike-factor", "2", "--spike-duration", "0.5",
+                   "--devices", "4", "--initial-serving", "2", "--static",
+                   "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "static partition" in out
+        assert "harvested" not in out
+
+    def test_serve_trace_out_writes_timeline(self, capsys, tmp_path):
+        path = str(tmp_path / "serve.jsonl")
+        rc = main(["serve", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "200", "--duration", "1",
+                   "--devices", "2", "--seed", "1", "--trace-out", path])
+        assert rc == 0
+        from repro.runtime import read_trace
+
+        events = read_trace(path)
+        assert events and {"admit", "dispatch", "complete"} <= {
+            e["kind"] for e in events}
+        assert "event timeline written" in capsys.readouterr().out
+
+    def test_simulate_trace_out_writes_timeline(self, capsys, tmp_path):
+        path = str(tmp_path / "sim.jsonl")
+        rc = main(["simulate", "--jobs", "4", "--rate", "12", "--gpus", "4",
+                   "--seed", "1", "--trace-out", path])
+        assert rc == 0
+        from repro.runtime import read_trace
+
+        events = read_trace(path)
+        assert events and "arrival" in {e["kind"] for e in events}
 
     def test_profile(self, capsys):
         rc = main(["profile", "--workload", "resnet50_imagenet",
