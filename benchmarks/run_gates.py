@@ -62,6 +62,7 @@ GATES: Tuple[Gate, ...] = (
     Gate("cosched_harvest", "bench_cosched_harvest.py", wall_clock=False),
     Gate("fig17_microbench", "bench_fig17_microbench.py", smoke=False),
     Gate("fused_coverage", "bench_fused_coverage.py"),
+    Gate("runtime_throughput", "bench_runtime_throughput.py"),
     Gate("serving_slo", "bench_serving_slo.py", wall_clock=False),
 )
 

@@ -51,6 +51,7 @@ from repro.framework import WORKLOADS, get_workload
 from repro.hardware import Cluster
 from repro.hetero import HeterogeneousSolver
 from repro.profiler import OfflineProfiler
+from repro.runtime import EventTrace, queue_backends
 from repro.sched import GavelSimulator, resident_training_jobs, run_cosched
 from repro.serving import serve_workload
 from repro.utils import format_duration, format_table
@@ -98,6 +99,25 @@ _nonnegative_float = _bounded(float, 0.0, exclusive=False)
 _spike_factor = _bounded(float, 1.0, exclusive=False)
 _positive_int = _bounded(int, 0)
 _nonnegative_int = _bounded(int, 0, exclusive=False)
+
+
+def _add_runtime_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """Event-runtime knobs shared by every discrete-event command."""
+    sub_parser.add_argument(
+        "--queue-backend", choices=queue_backends(), default=None,
+        help="event-queue scheduler (default: calendar; both backends fire "
+             "the identical event order)")
+    sub_parser.add_argument(
+        "--trace-sample", type=_positive_int, default=1, metavar="N",
+        help="journal every Nth event to --trace-out (default 1 = all; the "
+             "trace records the stride in a leading meta line)")
+
+
+def _make_trace(args):
+    """The ``trace`` argument for a run: a sampling writer, a path, or None."""
+    if args.trace_out is not None and args.trace_sample > 1:
+        return EventTrace(args.trace_out, sample=args.trace_sample)
+    return args.trace_out
 
 
 def _parse_resize(text: str):
@@ -186,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", choices=backend_names(), default="reference")
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the runtime's JSONL event timeline here")
+    _add_runtime_flags(serve)
 
     cosched = sub.add_parser(
         "cosched", help="co-scheduled training + serving on one shared pool")
@@ -230,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     cosched.add_argument("--backend", choices=backend_names(), default="reference")
     cosched.add_argument("--trace-out", default=None, metavar="PATH",
                          help="write the runtime's JSONL event timeline here")
+    _add_runtime_flags(cosched)
 
     plan = sub.add_parser("plan", help="show the execution plan for a config")
     plan.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
@@ -262,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trace-out", default=None, metavar="PATH",
                           help="write the runtime's JSONL event timeline "
                                "here (elastic scheduler run only)")
+    _add_runtime_flags(simulate)
 
     gavel = sub.add_parser("gavel", help="Gavel vs Gavel+heterogeneous")
     gavel.add_argument("--jobs", type=int, default=12)
@@ -329,15 +352,20 @@ def _cmd_serve(args) -> int:
     else:
         phases = [ServingPhase(args.duration, args.arrival_rate)]
     slo = args.slo_p99 / 1e3
-    report = serve_workload(
-        args.workload, phases,
-        max_batch=args.max_batch, max_wait=args.max_wait / 1e3,
-        pool_devices=args.devices, device_type=args.device_type,
-        virtual_nodes=args.virtual_nodes,
-        initial_devices=args.initial_devices,
-        autoscale=args.autoscale, slo_p99=slo if args.autoscale else None,
-        backend=args.backend, seed=args.seed, limit=args.requests,
-        trace=args.trace_out)
+    trace = _make_trace(args)
+    try:
+        report = serve_workload(
+            args.workload, phases,
+            max_batch=args.max_batch, max_wait=args.max_wait / 1e3,
+            pool_devices=args.devices, device_type=args.device_type,
+            virtual_nodes=args.virtual_nodes,
+            initial_devices=args.initial_devices,
+            autoscale=args.autoscale, slo_p99=slo if args.autoscale else None,
+            backend=args.backend, seed=args.seed, limit=args.requests,
+            trace=trace, queue_backend=args.queue_backend)
+    finally:
+        if isinstance(trace, EventTrace):
+            trace.close()
     summary = report.summary(slo_p99=slo)
     rows = [
         ["requests served", f"{int(summary['requests'])}"],
@@ -380,15 +408,20 @@ def _cmd_cosched(args) -> int:
     train_specs = resident_training_jobs(
         args.train_jobs, demand_gpus=args.train_demand,
         workload=args.train_workload)
-    report = run_cosched(
-        args.workload, phases, train_specs,
-        pool_devices=args.devices, device_type=args.device_type,
-        max_batch=args.max_batch, max_wait=args.max_wait / 1e3,
-        initial_serving=args.initial_serving,
-        autoscale=not args.static, slo_p99=None if args.static else slo,
-        train_floor=args.train_floor, resize_delay=args.resize_delay,
-        backend=args.backend, seed=args.seed, limit=args.requests,
-        trace=args.trace_out)
+    trace = _make_trace(args)
+    try:
+        report = run_cosched(
+            args.workload, phases, train_specs,
+            pool_devices=args.devices, device_type=args.device_type,
+            max_batch=args.max_batch, max_wait=args.max_wait / 1e3,
+            initial_serving=args.initial_serving,
+            autoscale=not args.static, slo_p99=None if args.static else slo,
+            train_floor=args.train_floor, resize_delay=args.resize_delay,
+            backend=args.backend, seed=args.seed, limit=args.requests,
+            trace=trace, queue_backend=args.queue_backend)
+    finally:
+        if isinstance(trace, EventTrace):
+            trace.close()
     summary = report.summary(slo_p99=slo)
     rows = [
         ["requests served", f"{int(summary['serving_requests'])}"],
@@ -469,9 +502,16 @@ def _cmd_simulate(args) -> int:
     for scheduler in (ElasticWFSScheduler(), StaticPriorityScheduler()):
         # The JSONL timeline (when asked for) records the elastic run — the
         # scheduler the paper's figures are about.
-        trace_out = args.trace_out if scheduler.elastic else None
-        metrics = compute_metrics(
-            ClusterSimulator(args.gpus, scheduler).run(trace, trace=trace_out))
+        trace_out = _make_trace(args) if scheduler.elastic else None
+        try:
+            metrics = compute_metrics(
+                ClusterSimulator(
+                    args.gpus, scheduler,
+                    queue_backend=args.queue_backend,
+                ).run(trace, trace=trace_out))
+        finally:
+            if isinstance(trace_out, EventTrace):
+                trace_out.close()
         rows.append([metrics.scheduler_name,
                      format_duration(metrics.makespan),
                      format_duration(metrics.median_jct),

@@ -7,8 +7,9 @@ target allocations, resizes are applied (with a migration delay for elastic
 schedulers), and completion times are re-predicted.
 
 The simulation runs on the shared discrete-event runtime
-(:mod:`repro.runtime`): :class:`TrainingClusterProcess` posts arrival events
-and per-job completion-prediction (ETA) events on the heap-based
+(:mod:`repro.runtime`): :class:`TrainingClusterProcess` posts the whole
+trace's arrival wave in one ``post_many`` call and per-job completion-
+prediction (ETA) events on the slab-backed
 :class:`~repro.runtime.core.EventQueue`, invalidating and rescheduling an
 ETA whenever a reallocation (or float drift from an advance) moves the
 prediction — replacing the old per-iteration linear next-finish scan.  Job
@@ -137,7 +138,7 @@ class TrainingClusterProcess:
         self._rates: Dict[int, float] = {}
         self._rate_cache: Dict[Tuple[int, int], float] = {}
         self._eta_events: Dict[int, Event] = {}
-        self._arrival_events: Dict[int, Event] = {}
+        self._arrival_handles: Dict[int, int] = {}
         self._leases: Dict[int, DeviceLease] = {}
         self._lease_seconds: Dict[int, float] = {}
         self._time = 0.0
@@ -147,9 +148,14 @@ class TrainingClusterProcess:
 
     def start(self, runtime: Runtime) -> None:
         self._runtime = runtime
-        for spec in self._arrivals:
-            self._arrival_events[spec.job_id] = runtime.at(
-                spec.arrival_time, self._wake, kind="arrival", actor=self.name)
+        # One bulk post for the whole trace's arrival wave: sequence
+        # numbers are assigned exactly as the old per-spec push loop did.
+        handles = runtime.post_many(
+            [spec.arrival_time for spec in self._arrivals], self._wake,
+            kind="arrival", actor=self.name)
+        self._arrival_handles = {
+            spec.job_id: handle
+            for spec, handle in zip(self._arrivals, handles.tolist())}
 
     # -- queries -------------------------------------------------------------
 
@@ -219,7 +225,9 @@ class TrainingClusterProcess:
             self.arrived.append(self.jobs[spec.job_id])
             # The arrival was absorbed by this wake; its own event (the same
             # instant, or within EPS) must not fire a second time.
-            self._arrival_events.pop(spec.job_id).cancel()
+            assert self._runtime is not None
+            self._runtime.queue.cancel_handle(
+                self._arrival_handles.pop(spec.job_id))
             self._next_arrival += 1
             admitted.append(spec.job_id)
         return admitted
@@ -360,7 +368,8 @@ class ClusterSimulator:
     """Simulates a trace of jobs on a homogeneous GPU cluster."""
 
     def __init__(self, total_gpus: int, scheduler: Scheduler,
-                 resize_delay: float = 1.0, perf: Optional[PerfModel] = None) -> None:
+                 resize_delay: float = 1.0, perf: Optional[PerfModel] = None,
+                 queue_backend: Optional[str] = None) -> None:
         if total_gpus < 1:
             raise ValueError("total_gpus must be >= 1")
         if resize_delay < 0:
@@ -369,6 +378,7 @@ class ClusterSimulator:
         self.scheduler = scheduler
         self.resize_delay = resize_delay
         self.perf = perf or PerfModel()
+        self.queue_backend = queue_backend
 
     def run(self, specs: Sequence[JobSpec], max_time: float = 10_000_000.0,
             trace: Optional[Union[str, EventTrace]] = None) -> SimulationResult:
@@ -382,7 +392,7 @@ class ClusterSimulator:
             pool=DevicePool(self.total_gpus), resize_delay=self.resize_delay,
             perf=self.perf, max_time=max_time)
         with open_trace(trace) as writer:
-            runtime = Runtime(trace=writer)
+            runtime = Runtime(trace=writer, queue_backend=self.queue_backend)
             runtime.add(process)
             runtime.run()
         if process.unfinished():

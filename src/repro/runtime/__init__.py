@@ -1,14 +1,18 @@
 """The shared discrete-event runtime under every simulated subsystem.
 
-One event loop — :class:`Runtime` over a :class:`SimClock` and a heap-based
+One event loop — :class:`Runtime` over a :class:`SimClock` and a slab-backed
 :class:`EventQueue` with deterministic ``(time, seq)`` tie-breaking — drives
 the elastic cluster simulator, the serving request router, and the
 co-scheduler that runs both on one shared :class:`DevicePool`.  Processes
 (:class:`Process`) post events; the runtime dispatches them in time order
-and can journal every fired event to a JSONL :class:`EventTrace`.
+and can journal every fired event to a JSONL :class:`EventTrace`.  The
+queue's scheduler is pluggable (``"heap"`` oracle vs the fast ``"calendar"``
+time wheel — see :func:`set_default_backend`); both are bit-identical.
 """
 
-from repro.runtime.core import Event, EventQueue, Process, Runtime, SimClock
+from repro.runtime.core import (Event, EventQueue, Process, Runtime,
+                                SimClock, batch_action, get_default_backend,
+                                queue_backends, set_default_backend)
 from repro.runtime.pool import DeviceLease, DevicePool, LeaseError
 from repro.runtime.trace import EventTrace, open_trace, read_trace
 
@@ -22,6 +26,10 @@ __all__ = [
     "Process",
     "Runtime",
     "SimClock",
+    "batch_action",
+    "get_default_backend",
     "open_trace",
+    "queue_backends",
     "read_trace",
+    "set_default_backend",
 ]

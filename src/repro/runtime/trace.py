@@ -15,6 +15,17 @@ sequence number (the deterministic tie-break — two timelines of the same
 seed are byte-identical), ``kind`` the event type, ``actor`` the process
 that scheduled it, and ``data`` whatever fields the event's action chose to
 journal (empty object when it returned None).
+
+Two throughput knobs exist for million-event runs, both off by default:
+
+* **buffering** — lines are accumulated in memory and written in blocks
+  of ``buffer_lines`` (the runtime flushes on run exit, and ``close()``
+  always flushes), so tracing does not turn every event into a syscall;
+* **sampling** — ``sample=N`` keeps every N-th fired event (the first,
+  then every N-th after it, counted over the whole run).  A sampled
+  timeline starts with a metadata line ``{"meta": {"sample": N}}`` so a
+  reader knows the stream is decimated; ``read_trace`` skips meta lines
+  and returns events only.  ``seq`` gaps in a sampled trace are expected.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from __future__ import annotations
 import json
 import os
 from contextlib import contextmanager
-from typing import Any, Dict, IO, Iterator, Optional, Union
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
 
 __all__ = ["EventTrace", "open_trace", "read_trace"]
 
@@ -32,18 +43,34 @@ class EventTrace:
 
     Accepts a path (opened lazily, directories created) or any writable
     file object.  Usable as a context manager; ``close()`` is idempotent
-    and never closes a file object the caller handed in.
+    and never closes a file object the caller handed in.  ``sample=N``
+    keeps every N-th event; ``buffer_lines`` bounds how many formatted
+    lines are held before a physical write.
     """
 
-    def __init__(self, destination: Union[str, IO[str]]) -> None:
+    def __init__(self, destination: Union[str, IO[str]], *,
+                 buffer_lines: int = 1024, sample: int = 1) -> None:
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        if buffer_lines < 1:
+            raise ValueError(
+                f"buffer_lines must be >= 1, got {buffer_lines}")
         self._path: Optional[str] = None
         self._fh: Optional[IO[str]] = None
         self._owns = False
-        self.events_written = 0
+        self._buffer: List[str] = []
+        self._buffer_lines = buffer_lines
+        self.sample = sample
+        self.events_written = 0   # lines emitted (post-sampling)
+        self.events_seen = 0      # events offered (pre-sampling)
         if isinstance(destination, str):
             self._path = destination
         else:
             self._fh = destination
+        if sample > 1:
+            self._buffer.append(
+                json.dumps({"meta": {"sample": sample}}, sort_keys=True)
+                + "\n")
 
     def _handle(self) -> IO[str]:
         if self._fh is None:
@@ -57,14 +84,58 @@ class EventTrace:
     def emit(self, t: float, seq: int, kind: str, actor: str,
              data: Optional[Dict[str, Any]] = None) -> None:
         """Journal one fired event as a JSONL line."""
+        seen = self.events_seen
+        self.events_seen = seen + 1
+        if seen % self.sample:
+            return
         line = json.dumps(
             {"t": t, "seq": seq, "kind": kind, "actor": actor,
              "data": data or {}},
             sort_keys=True)
-        self._handle().write(line + "\n")
+        self._buffer.append(line + "\n")
         self.events_written += 1
+        if len(self._buffer) >= self._buffer_lines:
+            self.flush()
+
+    def emit_many(self, times, seqs, kind: str, actor: str) -> None:
+        """Journal a batch-dispatched run of events (empty ``data``).
+
+        ``times``/``seqs`` are the parallel arrays a batched run fired
+        with.  Lines are formatted without per-event ``json.dumps`` but
+        are byte-identical to what :meth:`emit` would have produced.
+        """
+        n = len(times)
+        if n == 0:
+            return
+        seen = self.events_seen
+        self.events_seen = seen + n
+        sample = self.sample
+        first = (-seen) % sample  # offset of the first kept event
+        if first >= n:
+            return
+        t_list = times[first::sample].tolist() if hasattr(times, "tolist") \
+            else list(times[first::sample])
+        s_list = seqs[first::sample].tolist() if hasattr(seqs, "tolist") \
+            else list(seqs[first::sample])
+        # Key order matches json.dumps(sort_keys=True): actor < data <
+        # kind < seq < t; float repr matches json's float formatting.
+        prefix = (f'{{"actor": {json.dumps(actor)}, "data": {{}}, '
+                  f'"kind": {json.dumps(kind)}, "seq": ')
+        buffer = self._buffer
+        buffer.extend(f'{prefix}{s}, "t": {t!r}}}\n'
+                      for t, s in zip(t_list, s_list))
+        self.events_written += len(t_list)
+        if len(buffer) >= self._buffer_lines:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write out any buffered lines (the runtime calls this on exit)."""
+        if self._buffer:
+            self._handle().write("".join(self._buffer))
+            self._buffer.clear()
 
     def close(self) -> None:
+        self.flush()
         if self._fh is not None and self._owns:
             self._fh.close()
             self._fh = None
@@ -98,11 +169,17 @@ def open_trace(trace: Union[str, "EventTrace", None],
 
 
 def read_trace(path: str) -> list:
-    """Load a JSONL timeline back into a list of event dicts."""
+    """Load a JSONL timeline back into a list of event dicts.
+
+    Metadata lines (``{"meta": ...}``, written by sampled traces) are
+    skipped: the result contains events only.
+    """
     events = []
     with open(path) as fh:
         for line in fh:
             line = line.strip()
             if line:
-                events.append(json.loads(line))
+                record = json.loads(line)
+                if "meta" not in record:
+                    events.append(record)
     return events

@@ -185,6 +185,7 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
                 limit: Optional[int] = None,
                 source: Optional[RequestSource] = None,
                 trace: Optional[Union[str, EventTrace]] = None,
+                queue_backend: Optional[str] = None,
                 ) -> CoschedReport:
     """Run elastic training jobs and a serving router on one shared pool.
 
@@ -258,7 +259,7 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
     cosched = CoScheduler(dpool, training, serving_lease,
                           train_floor=train_floor)
     with open_trace(trace) as writer:
-        runtime = Runtime(trace=writer)
+        runtime = Runtime(trace=writer, queue_backend=queue_backend)
         router.bind(runtime, device_pool=dpool, lease=serving_lease,
                     governor=cosched.grant if autoscale else None,
                     on_rescaled=cosched.notify_rescaled if autoscale else None,

@@ -245,9 +245,8 @@ class LatencyAutoscaler:
     def observe(self, records: Sequence[RequestRecord], now: float,
                 devices: int) -> Optional[int]:
         """Fold a completed micro-batch in; return a new device count or None."""
-        for record in records:
-            self._arrivals.append(record.arrival_time)
-            self._hist.observe(record.latency)
+        self._arrivals.extend(r.arrival_time for r in records)
+        self._hist.observe_many([r.latency for r in records])
         if len(self._arrivals) < self.burst_window:
             return None
         rate_burst = self.rate_estimate(self.burst_window)

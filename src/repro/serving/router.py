@@ -349,11 +349,13 @@ class RequestRouter:
     # -- the event loop -------------------------------------------------------
 
     def run(self, trace: Optional[Union[str, EventTrace]] = None,
-            ) -> ServingReport:
+            queue_backend: Optional[str] = None) -> ServingReport:
         """Serve the source dry; return the full accounting.
 
         ``trace`` (a path or an :class:`EventTrace`) journals the event
-        timeline as JSONL — the ``--trace-out`` export.
+        timeline as JSONL — the ``--trace-out`` export.  ``queue_backend``
+        selects the event-queue scheduler for the private runtime
+        (``"heap"`` or ``"calendar"``; both fire the identical order).
 
         Each call is a fresh run with fresh accounting (a second call on a
         drained source returns an empty report, as the pre-runtime loop
@@ -365,7 +367,7 @@ class RequestRouter:
         self._batch_id = 0
         self._runtime = None  # force start() to rebind a fresh pool/lease
         with open_trace(trace) as writer:
-            runtime = Runtime(trace=writer)
+            runtime = Runtime(trace=writer, queue_backend=queue_backend)
             runtime.add(self)
             runtime.run()
         return self.report
@@ -507,6 +509,7 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
                    source: Optional[RequestSource] = None,
                    collect_logits: bool = False,
                    trace: Optional[Union[str, EventTrace]] = None,
+                   queue_backend: Optional[str] = None,
                    ) -> ServingReport:
     """Build and run a complete serving session for a registered workload.
 
@@ -558,4 +561,4 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
         inference, source,
         policy=MicroBatchPolicy(max_batch=max_batch, max_wait=max_wait),
         pool=pool, autoscaler=autoscaler, collect_logits=collect_logits)
-    return router.run(trace=trace)
+    return router.run(trace=trace, queue_backend=queue_backend)

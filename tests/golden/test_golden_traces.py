@@ -34,10 +34,22 @@ def _load(name: str) -> dict:
         return json.load(fh)
 
 
-@pytest.fixture(scope="module")
-def current() -> dict:
-    """One capture of every fixture scenario with the current code."""
-    return capture()
+@pytest.fixture(scope="module", params=["heap", "calendar"])
+def current(request) -> dict:
+    """One capture of every fixture scenario per event-queue backend.
+
+    Running the whole suite under both schedulers is the strongest
+    equivalence statement the repo makes: the calendar queue must fire the
+    exact event order the reference heap does, down to the last float.
+    """
+    from repro.runtime import get_default_backend, set_default_backend
+
+    prev = get_default_backend()
+    set_default_backend(request.param)
+    try:
+        return {"backend": request.param, **capture()}
+    finally:
+        set_default_backend(prev)
 
 
 @pytest.mark.parametrize("name", FIXTURES)
@@ -45,8 +57,9 @@ def test_matches_pre_refactor_golden(name, current):
     golden = _load(name)
     got = json.loads(json.dumps(current[name]))  # normalize tuples/keys
     assert got == golden, (
-        f"{name}: runtime-based implementation diverged from the "
-        f"pre-refactor golden fixture")
+        f"{name}: runtime-based implementation (queue backend "
+        f"{current['backend']!r}) diverged from the pre-refactor golden "
+        f"fixture")
 
 
 def test_simulation_event_order_deterministic():

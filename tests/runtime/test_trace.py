@@ -1,0 +1,116 @@
+"""EventTrace buffering, sampling, and batched emission."""
+
+from __future__ import annotations
+
+import json
+from io import StringIO
+
+import numpy as np
+import pytest
+
+from repro.runtime import EventTrace, Runtime, read_trace
+from repro.runtime.trace import open_trace
+
+
+class TestBuffering:
+    def test_lines_are_held_until_the_buffer_fills(self):
+        fh = StringIO()
+        trace = EventTrace(fh, buffer_lines=8)
+        for i in range(7):
+            trace.emit(float(i), i, "tick", "t")
+        assert fh.getvalue() == ""  # nothing written yet
+        trace.emit(7.0, 7, "tick", "t")
+        assert len(fh.getvalue().splitlines()) == 8
+
+    def test_close_flushes_and_is_idempotent(self):
+        fh = StringIO()
+        trace = EventTrace(fh, buffer_lines=1000)
+        trace.emit(0.5, 0, "tick", "t", {"k": 1})
+        trace.close()
+        trace.close()
+        lines = fh.getvalue().splitlines()
+        assert json.loads(lines[0]) == {
+            "t": 0.5, "seq": 0, "kind": "tick", "actor": "t", "data": {"k": 1}}
+        assert not fh.closed  # caller-owned handle stays open
+
+    def test_runtime_run_flushes_without_close(self):
+        fh = StringIO()
+        trace = EventTrace(fh, buffer_lines=1000)
+        runtime = Runtime(trace=trace)
+        runtime.at(1.0, lambda t: None, kind="ping", actor="p")
+        runtime.run()
+        assert len(fh.getvalue().splitlines()) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventTrace(StringIO(), sample=0)
+        with pytest.raises(ValueError):
+            EventTrace(StringIO(), buffer_lines=0)
+
+
+class TestSampling:
+    def test_every_nth_event_is_kept_after_a_meta_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with EventTrace(path, sample=3) as trace:
+            for i in range(10):
+                trace.emit(float(i), i, "tick", "t")
+        raw = [json.loads(line) for line in open(path)]
+        assert raw[0] == {"meta": {"sample": 3}}
+        assert [e["seq"] for e in raw[1:]] == [0, 3, 6, 9]
+        # read_trace hides the meta line from consumers.
+        assert [e["seq"] for e in read_trace(path)] == [0, 3, 6, 9]
+
+    def test_sampling_counts_across_emit_and_emit_many(self):
+        fh = StringIO()
+        trace = EventTrace(fh, sample=4)
+        trace.emit(0.0, 0, "tick", "t")          # kept (seen 0)
+        trace.emit(1.0, 1, "tick", "t")          # dropped
+        trace.emit_many(np.array([2.0, 3.0, 4.0, 5.0, 6.0]),
+                        np.array([2, 3, 4, 5, 6]), "wave", "t")  # keeps 4
+        trace.emit(7.0, 7, "tick", "t")          # dropped (seen 7)
+        trace.emit(8.0, 8, "tick", "t")          # kept (seen 8)
+        trace.close()
+        seqs = [json.loads(line)["seq"] for line in fh.getvalue().splitlines()
+                if "meta" not in json.loads(line)]
+        assert seqs == [0, 4, 8]
+        assert trace.events_seen == 9
+        assert trace.events_written == 3
+
+
+class TestEmitMany:
+    def test_byte_identical_to_the_scalar_path(self):
+        times = np.array([0.0012345, 2.0, 7.25, 1e-9])
+        seqs = np.array([3, 4, 5, 6])
+        scalar_fh, batch_fh = StringIO(), StringIO()
+        scalar = EventTrace(scalar_fh)
+        batch = EventTrace(batch_fh)
+        for t, s in zip(times.tolist(), seqs.tolist()):
+            scalar.emit(t, s, "wave", "sim")
+        batch.emit_many(times, seqs, "wave", "sim")
+        scalar.close()
+        batch.close()
+        assert batch_fh.getvalue() == scalar_fh.getvalue()
+
+    def test_accepts_plain_sequences_and_empty_batches(self):
+        fh = StringIO()
+        trace = EventTrace(fh)
+        trace.emit_many([], [], "wave", "sim")
+        trace.emit_many([1.5, 2.5], [0, 1], "wave", "sim")
+        trace.close()
+        assert [json.loads(line)["t"]
+                for line in fh.getvalue().splitlines()] == [1.5, 2.5]
+
+
+class TestOpenTrace:
+    def test_path_is_owned_and_instance_passes_through(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open_trace(path) as writer:
+            writer.emit(0.0, 0, "tick", "t")
+        assert len(read_trace(path)) == 1  # closed (flushed) on exit
+
+        keeper = EventTrace(StringIO(), sample=2)
+        with open_trace(keeper) as writer:
+            assert writer is keeper
+        keeper.emit(0.0, 0, "tick", "t")  # still usable: caller owns it
+        with open_trace(None) as writer:
+            assert writer is None

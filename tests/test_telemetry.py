@@ -77,3 +77,125 @@ class TestRecorder:
     def test_step_indices_sequential(self, run):
         _, recorder = run
         assert [s.step for s in recorder.steps] == list(range(len(recorder.steps)))
+
+
+class TestLatencyHistogramCache:
+    def test_cached_sorted_view_matches_fresh_sort(self):
+        import numpy as np
+        from repro.telemetry import LatencyHistogram, percentile
+
+        rng = np.random.default_rng(5)
+        hist = LatencyHistogram(window=512)
+        values = rng.lognormal(-3.5, 0.8, size=2000)
+        for i, v in enumerate(values):
+            hist.observe(float(v))
+            if i % 97 == 0:  # interleave queries with inserts
+                window = list(hist._values)
+                assert hist.percentile(99) == percentile(window, 99)
+        window = list(hist._values)
+        for q in (50, 90, 95, 99):
+            assert hist.percentile(q) == percentile(window, q)
+
+    def test_repeated_queries_reuse_the_cache(self):
+        from repro.telemetry import LatencyHistogram
+
+        hist = LatencyHistogram()
+        hist.observe_many([0.003, 0.001, 0.002])
+        first = hist.percentile(50)
+        view = hist._sorted
+        assert view is not None
+        assert hist.percentile(50) == first
+        assert hist._sorted is view  # no re-sort between queries
+        hist.observe(0.004)
+        assert hist._sorted is None  # invalidated by new data
+
+    def test_observe_many_rejects_negatives_and_matches_loop(self):
+        import pytest as _pytest
+
+        from repro.telemetry import LatencyHistogram
+
+        bulk = LatencyHistogram(window=8)
+        loop = LatencyHistogram(window=8)
+        values = [0.005, 0.001, 0.009, 0.002, 0.007, 0.004, 0.008, 0.003,
+                  0.006, 0.010]
+        bulk.observe_many(values)
+        for v in values:
+            loop.observe(v)
+        assert list(bulk._values) == list(loop._values)
+        assert bulk.percentile(99) == loop.percentile(99)
+        with _pytest.raises(ValueError):
+            bulk.observe_many([0.001, -0.5])
+
+
+class TestStreamingHistogram:
+    def test_quantiles_within_tolerance_of_exact(self):
+        import numpy as np
+
+        from repro.telemetry import LatencyHistogram, StreamingHistogram
+
+        rng = np.random.default_rng(13)
+        values = rng.lognormal(mean=-3.5, sigma=0.7, size=50_000)
+        stream = StreamingHistogram()
+        exact = LatencyHistogram()
+        stream.observe_many(values)
+        exact.observe_many(values)
+        for q in (50, 90, 95, 99):
+            approx = stream.percentile(q)
+            truth = exact.percentile(q)
+            assert abs(approx - truth) / truth < 0.05, (q, approx, truth)
+
+    def test_observe_many_matches_observe_loop(self):
+        import numpy as np
+
+        from repro.telemetry import StreamingHistogram
+
+        rng = np.random.default_rng(14)
+        values = rng.lognormal(-4.0, 1.0, size=5000)
+        bulk, loop = StreamingHistogram(), StreamingHistogram()
+        bulk.observe_many(values)
+        for v in values:
+            loop.observe(float(v))
+        assert bulk.count == loop.count == len(values)
+        assert (bulk._counts == loop._counts).all()
+        assert bulk.percentile(99) == loop.percentile(99)
+
+    def test_exact_extremes_and_mean(self):
+        from repro.telemetry import StreamingHistogram
+
+        hist = StreamingHistogram()
+        hist.observe_many([0.001, 0.010, 0.005])
+        assert hist._min == 0.001 and hist._max == 0.010
+        assert hist.mean == pytest.approx((0.001 + 0.010 + 0.005) / 3)
+        assert hist.percentile(0) >= 0.001
+        assert hist.percentile(100) <= 0.010
+        stats = hist.stats()
+        assert stats["count"] == 3.0
+
+    def test_memory_is_constant_and_clear_resets(self):
+        import numpy as np
+
+        from repro.telemetry import StreamingHistogram
+
+        hist = StreamingHistogram()
+        nbins = hist._counts.size
+        hist.observe_many(np.full(100_000, 0.004))
+        assert hist._counts.size == nbins  # no growth with observations
+        assert len(hist) == 100_000
+        hist.clear()
+        assert len(hist) == 0
+        with pytest.raises(ValueError):
+            hist.percentile(50)
+
+    def test_out_of_range_values_clamp(self):
+        from repro.telemetry import StreamingHistogram
+
+        hist = StreamingHistogram(min_value=1e-3, max_value=1.0)
+        hist.observe(0.0)       # underflow bin
+        hist.observe(5.0)       # clamps to the last bin
+        assert len(hist) == 2
+        assert hist.percentile(0) == 0.0  # anchored on the exact min
+        # The overflow value is clamped into the top bin; the quantile
+        # stays inside the exact observed range.
+        assert 0.0 <= hist.percentile(99) <= 5.0
+        with pytest.raises(ValueError):
+            hist.observe(-1.0)
