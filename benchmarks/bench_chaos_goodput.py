@@ -1,0 +1,242 @@
+"""Chaos goodput frontier: co-scheduling vs static splits under failures.
+
+The robustness claim behind the paper's elasticity story: because virtual
+nodes decouple both tenants from their hardware, a device crash is just a
+resize — training migrates onto the survivors (paying detection plus the
+§4.1 all-gather) and serving re-admits the interrupted requests on what is
+left — so a co-scheduled pool should degrade *gracefully* as the failure
+rate climbs, while a static partition loses whatever side the dead device
+belonged to until repair.
+
+This benchmark sweeps a seeded crash rate (same fault plan for every policy
+at a given rate, so comparisons are apples-to-apples) over:
+
+* ``static-k`` — serving pinned to k devices, training pinned to pool-k;
+  a crashed serving device halts admission until the repair restores the
+  pinned size, and
+* ``cosched``  — the autoscaled router + co-scheduler, which re-arbitrates
+  the surviving healthy capacity after every crash and revive.
+
+The frontier question, per failure rate: among policies whose whole-run
+p99-SLO attainment stays above the floor, who delivers the most training
+goodput?  Everything is simulated time, deterministic in the seeds; the
+shared pool audits three-way (busy + idle + failed) device-second
+conservation in every cell.
+
+Results persist as ``results/chaos_goodput.txt`` and
+``results/BENCH_chaos_goodput.json``.  ``--smoke`` runs a tiny trace with
+no gate, for CI breakage detection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List
+
+from _common import report, save_bench_json
+from repro.chaos import random_plan
+from repro.core import RecoveryPolicy
+from repro.elastic import spike_phases
+from repro.sched import resident_training_jobs, run_cosched
+
+WORKLOAD = "mlp_synthetic"
+TRAIN_WORKLOAD = "resnet56_cifar10"
+POOL = 8
+SLO_P99 = 0.035          # seconds — the 35 ms frontier
+BASE_RATE = 500.0        # req/s; the spike multiplies this
+SPIKE = 5.0
+MAX_BATCH = 16
+MAX_WAIT = 0.002
+RESIZE_DELAY = 0.25      # training-side §4.1 stall per harvest/reclaim
+TRAIN_FLOOR = 2          # tenancy guarantee: serving never harvests below it
+TRAIN_JOBS = 2
+TRAIN_DEMAND = 4
+SEED = 1                 # workload seed (arrivals, model init)
+CHAOS_SEED = 11          # fault-plan seed, deliberately independent
+MTTR = 1.5               # mean seconds a crashed device stays down
+CRASH_RATES = (0.0, 0.3, 0.6)   # cluster-wide crashes per simulated second
+ATTAIN_FLOOR = 0.95      # a policy "holds" the SLO if attainment >= this
+
+STATIC_SPLITS = (2, 3, 4)   # serving devices; training gets POOL - k
+
+RECOVERY = RecoveryPolicy(mode="migrate")
+
+
+def _phases(smoke: bool):
+    if smoke:
+        return spike_phases(BASE_RATE, SPIKE, base_duration=1.0,
+                            spike_duration=0.5)
+    return spike_phases(BASE_RATE, SPIKE, base_duration=4.0,
+                        spike_duration=1.5)
+
+
+def _plan(crash_rate: float, smoke: bool):
+    duration = sum(p.duration for p in _phases(smoke))
+    return random_plan(seed=CHAOS_SEED, duration=duration, devices=POOL,
+                       crash_rate=crash_rate, mttr=MTTR,
+                       min_healthy=TRAIN_FLOOR + 1)
+
+
+def _run_policy(policy: str, crash_rate: float, smoke: bool):
+    train_specs = resident_training_jobs(TRAIN_JOBS, demand_gpus=TRAIN_DEMAND,
+                                         workload=TRAIN_WORKLOAD)
+    kwargs = dict(pool_devices=POOL, max_batch=MAX_BATCH, max_wait=MAX_WAIT,
+                  resize_delay=RESIZE_DELAY, seed=SEED,
+                  fault_plan=_plan(crash_rate, smoke), recovery=RECOVERY)
+    if policy == "cosched":
+        kwargs.update(initial_serving=2, autoscale=True, slo_p99=SLO_P99,
+                      train_floor=TRAIN_FLOOR)
+    else:
+        kwargs.update(initial_serving=int(policy.removeprefix("static-")),
+                      autoscale=False)
+    return run_cosched(WORKLOAD, _phases(smoke), train_specs, **kwargs)
+
+
+def run(smoke: bool = False) -> Dict:
+    rates = (CRASH_RATES[0], CRASH_RATES[-1]) if smoke else CRASH_RATES
+    policies = (["static-2", "cosched"] if smoke
+                else [f"static-{k}" for k in STATIC_SPLITS] + ["cosched"])
+    frontier: List[Dict] = []
+    rows: List[List[str]] = []
+    for rate in rates:
+        cells: Dict[str, Dict] = {}
+        for policy in policies:
+            rep = _run_policy(policy, rate, smoke)
+            summary = rep.summary(slo_p99=SLO_P99)
+            chaos = rep.chaos or {}
+            cells[policy] = {
+                "p99_ms": summary["serving_latency_p99_ms"],
+                "slo_attainment": summary["serving_slo_attainment"],
+                "holds_slo": summary["serving_slo_attainment"] >= ATTAIN_FLOOR,
+                "train_goodput_sps": summary["train_goodput_sps"],
+                "train_avg_devices": summary["train_avg_devices"],
+                "serving_avg_devices": summary["serving_avg_devices"],
+                "crashes": chaos.get("crashes", 0),
+                "requeued_requests": chaos.get("requeued_requests", 0),
+                "train_recoveries": len(chaos.get("train_recoveries", [])),
+            }
+            rows.append([
+                f"{rate:g}", policy,
+                f"{summary['serving_latency_p99_ms']:.1f}",
+                f"{summary['serving_slo_attainment']:.1%}",
+                f"{summary['train_goodput_sps']:.1f}",
+                cells[policy]["crashes"],
+                cells[policy]["requeued_requests"],
+                cells[policy]["train_recoveries"],
+            ])
+        eligible = {p: c["train_goodput_sps"] for p, c in cells.items()
+                    if p.startswith("static-") and c["holds_slo"]}
+        best_static = max(eligible.values(), default=0.0)
+        frontier.append({
+            "crash_rate": rate,
+            "cells": cells,
+            "best_static_goodput": best_static,
+            "best_static_policy": max(eligible, key=eligible.get,
+                                      default=None),
+            "cosched_goodput": cells["cosched"]["train_goodput_sps"],
+            "cosched_attainment": cells["cosched"]["slo_attainment"],
+        })
+
+    report("chaos_goodput",
+           ["crash/s", "policy", "p99 ms", "SLO attain", "train steps/s",
+            "crashes", "requeued", "recoveries"],
+           rows,
+           title=f"Chaos goodput frontier: {WORKLOAD} serving + "
+                 f"{TRAIN_JOBS}x{TRAIN_WORKLOAD} training on one pool of "
+                 f"{POOL} V100s, seeded crash/revive injection "
+                 f"(MTTR {MTTR:g}s, chaos seed {CHAOS_SEED})",
+           notes=f"per crash rate, cosched must hold attainment >= "
+                 f"{ATTAIN_FLOOR:.0%} and out-goodput the best static split "
+                 f"that also holds it; same fault plan for every policy at "
+                 f"a given rate")
+    payload = {
+        "smoke": smoke,
+        "workload": WORKLOAD,
+        "train_workload": TRAIN_WORKLOAD,
+        "pool_devices": POOL,
+        "slo_p99_ms": SLO_P99 * 1e3,
+        "attain_floor": ATTAIN_FLOOR,
+        "mttr_s": MTTR,
+        "seed": SEED,
+        "chaos_seed": CHAOS_SEED,
+        "crash_rates": list(rates),
+        "frontier": frontier,
+    }
+    path = save_bench_json("chaos_goodput", payload)
+    print(f"wrote {os.path.relpath(path, os.getcwd())}")
+    return payload
+
+
+# One full frontier run shared by every gate test (rerunning in smoke mode
+# would clobber the published results files with tiny-trace numbers).
+_FULL_PAYLOAD: Dict = {}
+
+
+def _full_payload() -> Dict:
+    if not _FULL_PAYLOAD:
+        _FULL_PAYLOAD.update(run(smoke=False))
+    return _FULL_PAYLOAD
+
+
+def test_chaos_frontier_cosched_wins():
+    """At every failure rate, cosched holds the SLO floor and out-goodputs
+    the best static split that also holds it.
+
+    All quantities are simulated time — deterministic in the pinned seeds —
+    so this gate has no noise tolerance and never retries.
+    """
+    payload = _full_payload()
+    for point in payload["frontier"]:
+        rate = point["crash_rate"]
+        assert point["cosched_attainment"] >= payload["attain_floor"], (
+            f"cosched lost the SLO floor at crash rate {rate:g}: "
+            f"attainment {point['cosched_attainment']:.1%}")
+        assert point["best_static_goodput"] > 0, (
+            f"no static split held the SLO floor at crash rate {rate:g}")
+        assert point["cosched_goodput"] > point["best_static_goodput"], (
+            f"cosched goodput {point['cosched_goodput']:.1f} steps/s does "
+            f"not beat the best static split "
+            f"({point['best_static_goodput']:.1f}) at crash rate {rate:g}")
+
+
+def test_chaos_degrades_goodput_not_correctness():
+    """Failures cost goodput (the frontier slopes down) but every crash is
+    recovered: training migrates and serving requeues rather than losing
+    requests."""
+    payload = _full_payload()
+    frontier = payload["frontier"]
+    clean = frontier[0]
+    worst = frontier[-1]
+    assert clean["crash_rate"] == 0.0 and worst["crash_rate"] > 0.0
+    assert worst["cosched_goodput"] < clean["cosched_goodput"], (
+        "injected crashes did not degrade cosched training goodput at all "
+        "— the chaos plan is not reaching the training tenant")
+    for point in frontier[1:]:
+        for policy, cell in point["cells"].items():
+            assert cell["crashes"] > 0, (
+                f"{policy} saw no crashes at rate {point['crash_rate']:g}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny config, no frontier gate (CI breakage "
+                             "check)")
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke)
+    if args.smoke:
+        return 0
+    ok = all(p["cosched_attainment"] >= payload["attain_floor"]
+             and p["cosched_goodput"] > p["best_static_goodput"] > 0
+             for p in payload["frontier"])
+    if not ok:
+        print("WARNING: cosched did not dominate the chaos frontier",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

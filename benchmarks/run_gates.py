@@ -59,6 +59,7 @@ class Gate:
 # Adding a benchmark to CI is this one line (plus the script itself).
 GATES: Tuple[Gate, ...] = (
     Gate("arena_fusion", "bench_arena_fusion.py"),
+    Gate("chaos_goodput", "bench_chaos_goodput.py", wall_clock=False),
     Gate("cosched_harvest", "bench_cosched_harvest.py", wall_clock=False),
     Gate("fig17_microbench", "bench_fig17_microbench.py", smoke=False),
     Gate("fused_coverage", "bench_fused_coverage.py"),

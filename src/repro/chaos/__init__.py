@@ -1,0 +1,31 @@
+"""Chaos engineering on the unified runtime: faults as first-class events.
+
+The paper's §7 observation is that elasticity doubles as fault tolerance —
+virtual nodes migrate off failed workers instead of restarting from stale
+checkpoints.  This package stress-tests that claim: a seeded
+:class:`FaultPlan` schedules device crash/revive, straggler windows, and
+network-degradation windows; :class:`ChaosProcess` injects them as ordinary
+events on the shared discrete-event runtime; :class:`ChaosController` fans
+each one out to the device pool, the perf-model conditions, and the
+training/serving/co-scheduling consumers.  Every scenario is deterministic
+under its seed and bit-identical under both queue backends.
+"""
+
+from repro.chaos.plan import (CRASH, NETWORK_END, NETWORK_START, REVIVE,
+                              STRAGGLER_END, STRAGGLER_START, ChaosEvent,
+                              FaultPlan, random_plan)
+from repro.chaos.process import ChaosController, ChaosProcess
+
+__all__ = [
+    "CRASH",
+    "NETWORK_END",
+    "NETWORK_START",
+    "REVIVE",
+    "STRAGGLER_END",
+    "STRAGGLER_START",
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosProcess",
+    "FaultPlan",
+    "random_plan",
+]

@@ -1,0 +1,260 @@
+"""Fault plans: seeded, validated timelines of injected infrastructure events.
+
+A :class:`FaultPlan` is the complete, deterministic description of one chaos
+scenario — device crashes and revivals, straggler onset/clear windows, and
+network-degradation windows — fixed *before* the simulation starts.  The
+:class:`~repro.chaos.process.ChaosProcess` posts each entry as a first-class
+event on the shared runtime queue, so injected failures interleave with
+arrivals, dispatches, and rescales under the same deterministic
+``(time, seq)`` order as every other event, and the whole scenario replays
+bit-identically under both queue backends.
+
+Plans come from two constructors: :meth:`FaultPlan.from_events` for
+hand-written scenarios (golden-trace fixtures, targeted tests) and
+:func:`random_plan` for rate-parameterized scenarios drawn from an explicit
+seed through :func:`repro.utils.seeding.derive_rng` — no module-level RNG
+state anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.utils.seeding import DOMAIN_CHAOS, derive_rng
+
+__all__ = [
+    "CRASH",
+    "REVIVE",
+    "STRAGGLER_START",
+    "STRAGGLER_END",
+    "NETWORK_START",
+    "NETWORK_END",
+    "ChaosEvent",
+    "FaultPlan",
+    "random_plan",
+]
+
+CRASH = "crash"
+REVIVE = "revive"
+STRAGGLER_START = "straggler_start"
+STRAGGLER_END = "straggler_end"
+NETWORK_START = "network_start"
+NETWORK_END = "network_end"
+
+_KINDS = (CRASH, REVIVE, STRAGGLER_START, STRAGGLER_END,
+          NETWORK_START, NETWORK_END)
+# Network events carry no device; everything else targets one.
+_DEVICE_KINDS = (CRASH, REVIVE, STRAGGLER_START, STRAGGLER_END)
+
+
+@dataclass(frozen=True, order=True)
+class ChaosEvent:
+    """One injected infrastructure event.
+
+    ``factor`` is the straggler speed (0 < f < 1) for ``straggler_start``
+    and the collective-cost multiplier (> 1) for ``network_start``; it is
+    unused (1.0) for the other kinds.  The dataclass orders by
+    ``(time, kind, device_id, factor)`` so sorted plans are canonical.
+    """
+
+    time: float
+    kind: str
+    device_id: int = -1
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown chaos event kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"chaos events cannot predate t=0: {self.time}")
+        if self.kind in _DEVICE_KINDS and self.device_id < 0:
+            raise ValueError(f"{self.kind} event needs a device id")
+        if self.kind == STRAGGLER_START and not 0.0 < self.factor < 1.0:
+            raise ValueError(
+                f"straggler factor must be in (0, 1), got {self.factor}")
+        if self.kind == NETWORK_START and self.factor <= 1.0:
+            raise ValueError(
+                f"network degradation factor must be > 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, validated timeline of :class:`ChaosEvent` entries."""
+
+    events: Tuple[ChaosEvent, ...] = ()
+    seed: Optional[int] = None
+    description: str = ""
+
+    @classmethod
+    def from_events(cls, events: Iterable[ChaosEvent],
+                    seed: Optional[int] = None,
+                    description: str = "") -> "FaultPlan":
+        plan = cls(tuple(sorted(events)), seed=seed, description=description)
+        plan.validate()
+        return plan
+
+    def validate(self) -> None:
+        """Check the timeline is well-formed: crash/revive alternate per
+        device, straggler windows nest correctly, network windows do not
+        overlap."""
+        down: Dict[int, bool] = {}
+        straggling: Dict[int, bool] = {}
+        network_open = False
+        last_t = 0.0
+        for ev in self.events:
+            if ev.time < last_t:
+                raise ValueError("fault plan events must be time-sorted")
+            last_t = ev.time
+            if ev.kind == CRASH:
+                if down.get(ev.device_id):
+                    raise ValueError(
+                        f"device {ev.device_id} crashed twice without revive")
+                down[ev.device_id] = True
+            elif ev.kind == REVIVE:
+                if not down.get(ev.device_id):
+                    raise ValueError(
+                        f"device {ev.device_id} revived without a crash")
+                down[ev.device_id] = False
+            elif ev.kind == STRAGGLER_START:
+                if straggling.get(ev.device_id):
+                    raise ValueError(
+                        f"device {ev.device_id} straggler window overlaps")
+                straggling[ev.device_id] = True
+            elif ev.kind == STRAGGLER_END:
+                if not straggling.get(ev.device_id):
+                    raise ValueError(
+                        f"device {ev.device_id} straggler cleared while clean")
+                straggling[ev.device_id] = False
+            elif ev.kind == NETWORK_START:
+                if network_open:
+                    raise ValueError("network degradation windows overlap")
+                network_open = True
+            elif ev.kind == NETWORK_END:
+                if not network_open:
+                    raise ValueError("network window closed while clean")
+                network_open = False
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for ev in self.events if ev.kind == kind)
+
+    @property
+    def crashes(self) -> int:
+        return self.count(CRASH)
+
+    @property
+    def stragglers(self) -> int:
+        return self.count(STRAGGLER_START)
+
+    @property
+    def network_windows(self) -> int:
+        return self.count(NETWORK_START)
+
+    def describe(self) -> str:
+        """A human-readable timeline for CLI output."""
+        header = self.description or "fault plan"
+        lines = [f"{header}: {self.crashes} crash(es), "
+                 f"{self.stragglers} straggler window(s), "
+                 f"{self.network_windows} network window(s)"]
+        for ev in self.events:
+            target = f" dev{ev.device_id}" if ev.device_id >= 0 else ""
+            extra = ""
+            if ev.kind == STRAGGLER_START:
+                extra = f" @{ev.factor:g}x speed"
+            elif ev.kind == NETWORK_START:
+                extra = f" @{ev.factor:g}x cost"
+            lines.append(f"  t={ev.time:8.3f}  {ev.kind:16s}{target}{extra}")
+        return "\n".join(lines)
+
+
+def random_plan(*, seed: int, duration: float,
+                devices: Union[int, Sequence[int]],
+                crash_rate: float = 0.0, mttr: float = 2.0,
+                straggler_rate: float = 0.0, straggler_factor: float = 0.6,
+                straggler_duration: float = 2.0,
+                network_rate: float = 0.0, network_factor: float = 3.0,
+                network_duration: float = 1.5,
+                min_healthy: int = 1) -> FaultPlan:
+    """Draw a rate-parameterized fault plan from an explicit seed.
+
+    Crashes arrive as a Poisson process at ``crash_rate`` per simulated
+    second cluster-wide; each picks a uniformly random currently-healthy
+    device and revives it after an exponential repair time with mean
+    ``mttr``.  Draws that would leave fewer than ``min_healthy`` devices up
+    are skipped — a scenario that kills the whole pool tests nothing.
+    Straggler and network windows are independent Poisson processes with
+    exponential durations; overlapping windows (same device / same link)
+    are skipped rather than merged so the plan stays trivially valid.
+
+    All randomness flows from ``derive_rng(seed, DOMAIN_CHAOS, ...)`` —
+    same seed, same plan, always.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if isinstance(devices, int):
+        devices = range(devices)  # a pool size means ids 0..n-1
+    if not devices:
+        raise ValueError("need at least one device to perturb")
+    if min_healthy < 1:
+        raise ValueError("min_healthy must be >= 1")
+    devices = sorted(devices)
+    events: List[ChaosEvent] = []
+
+    if crash_rate > 0:
+        rng = derive_rng(seed, DOMAIN_CHAOS, 0)
+        t = 0.0
+        down: Dict[int, float] = {}  # device -> revive time
+        while True:
+            t += float(rng.exponential(1.0 / crash_rate))
+            if t >= duration:
+                break
+            healthy = [d for d in devices if down.get(d, 0.0) <= t]
+            if len(healthy) <= min_healthy:
+                continue
+            dev = healthy[int(rng.integers(len(healthy)))]
+            repair = t + float(rng.exponential(mttr))
+            down[dev] = repair
+            events.append(ChaosEvent(t, CRASH, dev))
+            events.append(ChaosEvent(repair, REVIVE, dev))
+
+    if straggler_rate > 0:
+        rng = derive_rng(seed, DOMAIN_CHAOS, 1)
+        t = 0.0
+        slow_until: Dict[int, float] = {}
+        while True:
+            t += float(rng.exponential(1.0 / straggler_rate))
+            if t >= duration:
+                break
+            dev = devices[int(rng.integers(len(devices)))]
+            end = t + float(rng.exponential(straggler_duration))
+            if slow_until.get(dev, 0.0) > t:
+                continue
+            slow_until[dev] = end
+            events.append(ChaosEvent(t, STRAGGLER_START, dev,
+                                     factor=straggler_factor))
+            events.append(ChaosEvent(end, STRAGGLER_END, dev))
+
+    if network_rate > 0:
+        rng = derive_rng(seed, DOMAIN_CHAOS, 2)
+        t = 0.0
+        open_until = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / network_rate))
+            if t >= duration:
+                break
+            end = t + float(rng.exponential(network_duration))
+            if open_until > t:
+                continue
+            open_until = end
+            events.append(ChaosEvent(t, NETWORK_START, factor=network_factor))
+            events.append(ChaosEvent(end, NETWORK_END))
+
+    return FaultPlan.from_events(
+        events, seed=seed,
+        description=(f"random plan (seed {seed}, {len(devices)} devices, "
+                     f"{duration:g}s)"))

@@ -12,6 +12,9 @@ Commands mirror the library's main entry points:
 * ``cosched``  — co-scheduled training + serving on one shared device
   pool: the co-scheduler harvests training GPUs during serving spikes and
   returns them when the p99 recovers;
+* ``chaos``    — the same co-scheduled run under a seeded fault plan:
+  device crashes with recovery (migrate or checkpoint-restore), straggler
+  windows, and network-degradation windows injected as runtime events;
 * ``plan``     — show the execution plan (waves, memory, predicted step
   time) for a configuration without training;
 * ``profile``  — run the offline profiler for a workload across device
@@ -97,6 +100,15 @@ def _bounded(cast, minimum, exclusive: bool = True):
 _positive_float = _bounded(float, 0.0)
 _nonnegative_float = _bounded(float, 0.0, exclusive=False)
 _spike_factor = _bounded(float, 1.0, exclusive=False)
+_degradation_factor = _bounded(float, 1.0)  # network windows must cost more
+
+
+def _straggler_speed(text: str) -> float:
+    """A straggler runs strictly slower than healthy: speed in (0, 1)."""
+    value = _positive_float(text)
+    if value >= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1), got {value}")
+    return value
 _positive_int = _bounded(int, 0)
 _nonnegative_int = _bounded(int, 0, exclusive=False)
 
@@ -118,6 +130,51 @@ def _make_trace(args):
     if args.trace_out is not None and args.trace_sample > 1:
         return EventTrace(args.trace_out, sample=args.trace_sample)
     return args.trace_out
+
+
+def _add_cosched_flags(p: argparse.ArgumentParser) -> None:
+    """The shared co-scheduling surface (``cosched`` and ``chaos``)."""
+    p.add_argument("--workload", required=True, choices=sorted(WORKLOADS),
+                   help="the serving workload (training jobs come from "
+                        "--train-workload)")
+    p.add_argument("--arrival-rate", type=_positive_float, required=True,
+                   help="base request arrivals per second (open-loop Poisson)")
+    p.add_argument("--duration", type=_positive_float, default=8.0,
+                   help="seconds of base load (split around the spike)")
+    p.add_argument("--spike-factor", type=_spike_factor, default=4.0,
+                   help="multiply the rate by this for a mid-trace spike")
+    p.add_argument("--spike-duration", type=_positive_float, default=2.0,
+                   help="seconds the spike lasts")
+    p.add_argument("--max-batch", type=_positive_int, default=16)
+    p.add_argument("--max-wait", type=_nonnegative_float, default=2.0,
+                   help="micro-batch wait budget, milliseconds")
+    p.add_argument("--devices", type=_positive_int, default=8,
+                   help="shared pool size")
+    p.add_argument("--device-type", default="V100")
+    p.add_argument("--initial-serving", type=_positive_int, default=1,
+                   help="devices the router starts with")
+    p.add_argument("--slo-p99", type=_positive_float, default=35.0,
+                   help="p99 latency objective, milliseconds")
+    p.add_argument("--static", action="store_true",
+                   help="freeze the partition at --initial-serving "
+                        "(the baseline the harvest frontier beats)")
+    p.add_argument("--train-jobs", type=_positive_int, default=2,
+                   help="resident elastic training jobs on the pool")
+    p.add_argument("--train-workload", default="resnet56_cifar10",
+                   choices=sorted(WORKLOADS))
+    p.add_argument("--train-demand", type=_positive_int, default=4,
+                   help="GPUs each training job demands")
+    p.add_argument("--train-floor", type=_nonnegative_int, default=0,
+                   help="devices serving may never harvest")
+    p.add_argument("--resize-delay", type=_nonnegative_float, default=0.5,
+                   help="training-side §4.1 resize stall, seconds")
+    p.add_argument("--requests", type=_positive_int, default=None,
+                   help="cap on admitted requests")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=backend_names(), default="reference")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the runtime's JSONL event timeline here")
+    _add_runtime_flags(p)
 
 
 def _parse_resize(text: str):
@@ -210,48 +267,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     cosched = sub.add_parser(
         "cosched", help="co-scheduled training + serving on one shared pool")
-    cosched.add_argument("--workload", required=True, choices=sorted(WORKLOADS),
-                         help="the serving workload (training jobs come from "
-                              "--train-workload)")
-    cosched.add_argument("--arrival-rate", type=_positive_float, required=True,
-                         help="base request arrivals per second (open-loop "
-                              "Poisson)")
-    cosched.add_argument("--duration", type=_positive_float, default=8.0,
-                         help="seconds of base load (split around the spike)")
-    cosched.add_argument("--spike-factor", type=_spike_factor, default=4.0,
-                         help="multiply the rate by this for a mid-trace spike")
-    cosched.add_argument("--spike-duration", type=_positive_float, default=2.0,
-                         help="seconds the spike lasts")
-    cosched.add_argument("--max-batch", type=_positive_int, default=16)
-    cosched.add_argument("--max-wait", type=_nonnegative_float, default=2.0,
-                         help="micro-batch wait budget, milliseconds")
-    cosched.add_argument("--devices", type=_positive_int, default=8,
-                         help="shared pool size")
-    cosched.add_argument("--device-type", default="V100")
-    cosched.add_argument("--initial-serving", type=_positive_int, default=1,
-                         help="devices the router starts with")
-    cosched.add_argument("--slo-p99", type=_positive_float, default=35.0,
-                         help="p99 latency objective, milliseconds")
-    cosched.add_argument("--static", action="store_true",
-                         help="freeze the partition at --initial-serving "
-                              "(the baseline the harvest frontier beats)")
-    cosched.add_argument("--train-jobs", type=_positive_int, default=2,
-                         help="resident elastic training jobs on the pool")
-    cosched.add_argument("--train-workload", default="resnet56_cifar10",
-                         choices=sorted(WORKLOADS))
-    cosched.add_argument("--train-demand", type=_positive_int, default=4,
-                         help="GPUs each training job demands")
-    cosched.add_argument("--train-floor", type=_nonnegative_int, default=0,
-                         help="devices serving may never harvest")
-    cosched.add_argument("--resize-delay", type=_nonnegative_float, default=0.5,
-                         help="training-side §4.1 resize stall, seconds")
-    cosched.add_argument("--requests", type=_positive_int, default=None,
-                         help="cap on admitted requests")
-    cosched.add_argument("--seed", type=int, default=0)
-    cosched.add_argument("--backend", choices=backend_names(), default="reference")
-    cosched.add_argument("--trace-out", default=None, metavar="PATH",
-                         help="write the runtime's JSONL event timeline here")
-    _add_runtime_flags(cosched)
+    _add_cosched_flags(cosched)
+
+    chaos = sub.add_parser(
+        "chaos", help="co-scheduled run under seeded fault injection")
+    _add_cosched_flags(chaos)
+    chaos.add_argument("--crash-rate", type=_nonnegative_float, default=0.25,
+                       help="device crashes per simulated second (Poisson)")
+    chaos.add_argument("--mttr", type=_positive_float, default=2.0,
+                       help="mean seconds a crashed device stays down")
+    chaos.add_argument("--straggler-rate", type=_nonnegative_float,
+                       default=0.15,
+                       help="straggler-window onsets per simulated second")
+    chaos.add_argument("--straggler-factor", type=_straggler_speed,
+                       default=0.6,
+                       help="straggler speed multiplier in (0, 1)")
+    chaos.add_argument("--straggler-duration", type=_positive_float,
+                       default=2.0, help="mean straggler window, seconds")
+    chaos.add_argument("--network-rate", type=_nonnegative_float, default=0.1,
+                       help="network-degradation onsets per simulated second")
+    chaos.add_argument("--network-factor", type=_degradation_factor,
+                       default=3.0,
+                       help="collective-time multiplier while degraded (> 1)")
+    chaos.add_argument("--network-duration", type=_positive_float, default=1.5,
+                       help="mean network-degradation window, seconds")
+    chaos.add_argument("--chaos-seed", type=int, default=None,
+                       help="fault-plan seed (default: --seed)")
+    chaos.add_argument("--recovery", choices=("migrate", "checkpoint"),
+                       default="migrate",
+                       help="training recovery mode: migrate survivors "
+                            "(elastic, no lost steps) or restore the last "
+                            "checkpoint")
+    chaos.add_argument("--retry-delay", type=_positive_float, default=0.05,
+                       help="serving re-admission delay after a crash, "
+                            "seconds")
 
     plan = sub.add_parser("plan", help="show the execution plan for a config")
     plan.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
@@ -400,7 +449,8 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_cosched(args) -> int:
+def _cmd_cosched(args, fault_plan=None, recovery=None,
+                 retry_delay: float = 0.05) -> int:
     phases = spike_phases(args.arrival_rate, args.spike_factor,
                           base_duration=args.duration / 2,
                           spike_duration=args.spike_duration)
@@ -418,7 +468,8 @@ def _cmd_cosched(args) -> int:
             autoscale=not args.static, slo_p99=None if args.static else slo,
             train_floor=args.train_floor, resize_delay=args.resize_delay,
             backend=args.backend, seed=args.seed, limit=args.requests,
-            trace=trace, queue_backend=args.queue_backend)
+            trace=trace, queue_backend=args.queue_backend,
+            fault_plan=fault_plan, recovery=recovery, retry_delay=retry_delay)
     finally:
         if isinstance(trace, EventTrace):
             trace.close()
@@ -438,7 +489,22 @@ def _cmd_cosched(args) -> int:
                               f"{int(summary['serving_remaps'])}"],
         ["sim duration", format_duration(summary["duration_s"])],
     ]
+    if report.chaos is not None:
+        rows.extend([
+            ["chaos crashes / revives",
+             f"{report.chaos['crashes']} / {report.chaos['revives']}"],
+            ["chaos windows (straggler / network)",
+             f"{report.chaos['straggler_windows']} / "
+             f"{report.chaos['network_windows']}"],
+            ["requests requeued after crashes",
+             f"{report.chaos.get('requeued_requests', 0)}"],
+            ["train recoveries (checkpoint restores)",
+             f"{len(report.chaos.get('train_recoveries', []))} "
+             f"({report.chaos.get('checkpoint_restores', 0)})"],
+        ])
     mode = "static partition" if args.static else "co-scheduled"
+    if fault_plan is not None:
+        mode += " + chaos"
     print(format_table(
         ["metric", "value"], rows,
         title=f"{args.workload} serving + {args.train_jobs}x "
@@ -450,9 +516,38 @@ def _cmd_cosched(args) -> int:
         verb = "harvested" if after < before else "restored"
         print(f"  t={when:7.3f}s  {verb} training budget {before} -> {after} "
               f"GPUs")
+    if report.chaos is not None:
+        for when, kind, device, factor, owner in report.chaos["events"]:
+            detail = f"device {device}" if device >= 0 else "fabric"
+            if kind in ("straggler_start", "network_start"):
+                detail += f" x{factor:.2f}"
+            if owner:
+                detail += f" (held by {owner})"
+            print(f"  t={when:7.3f}s  chaos {kind:<15s} {detail}")
     if args.trace_out:
         print(f"event timeline written to {args.trace_out}")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.chaos import random_plan
+    from repro.core import RecoveryPolicy
+
+    phase_total = args.duration + args.spike_duration
+    plan = random_plan(
+        seed=args.seed if args.chaos_seed is None else args.chaos_seed,
+        duration=phase_total, devices=args.devices,
+        crash_rate=args.crash_rate, mttr=args.mttr,
+        straggler_rate=args.straggler_rate,
+        straggler_factor=args.straggler_factor,
+        straggler_duration=args.straggler_duration,
+        network_rate=args.network_rate, network_factor=args.network_factor,
+        network_duration=args.network_duration,
+        min_healthy=max(2, args.train_floor + 1))
+    print(plan.describe())
+    return _cmd_cosched(args, fault_plan=plan,
+                        recovery=RecoveryPolicy(mode=args.recovery),
+                        retry_delay=args.retry_delay)
 
 
 def _cmd_plan(args) -> int:
@@ -546,6 +641,7 @@ _COMMANDS = {
     "infer": _cmd_infer,
     "serve": _cmd_serve,
     "cosched": _cmd_cosched,
+    "chaos": _cmd_chaos,
     "plan": _cmd_plan,
     "profile": _cmd_profile,
     "solve": _cmd_solve,

@@ -47,6 +47,7 @@ from repro.core.executor import StepResult, VirtualFlowExecutor
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.fault_tolerance import (
     FaultToleranceError,
+    RecoveryPolicy,
     handle_device_failure,
     restore_device,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "Mapping",
     "PipelineConfig",
     "PlanValidationError",
+    "RecoveryPolicy",
     "ReferenceBackend",
     "StepResult",
     "VirtualNodeEngine",

@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 
 from repro.framework.models import Workload, get_workload
 from repro.hardware.device import DeviceSpec, get_spec
-from repro.hardware.perfmodel import PerfModel
+from repro.hardware.perfmodel import PerfModel, StepTimeBreakdown
 
 __all__ = ["JobSpec", "JobState", "JobStatus"]
 
@@ -74,12 +74,15 @@ class JobSpec:
     def wave_batch(self) -> int:
         return self.global_batch_size // self.total_virtual_nodes
 
-    def step_time(self, gpus: int, perf: Optional[PerfModel] = None) -> float:
-        """Synchronous step time at an allocation of ``gpus`` devices.
+    def step_breakdown(self, gpus: int,
+                       perf: Optional[PerfModel] = None) -> StepTimeBreakdown:
+        """Component times for one synchronous step at ``gpus`` devices.
 
         Priced with the shared :meth:`PerfModel.step_breakdown` — the same
         wave/update/all-reduce accounting the execution engine's plans use —
-        with every device carrying the bottleneck wave count.
+        with every device carrying the bottleneck wave count.  Exposing the
+        breakdown (not just its total) lets chaos conditions derate the
+        compute and comm components independently.
         """
         if gpus < 1:
             raise ValueError(f"gpus must be >= 1, got {gpus}")
@@ -90,7 +93,11 @@ class JobSpec:
         spec: DeviceSpec = get_spec(self.device_type)
         bottleneck_waves = math.ceil(self.total_virtual_nodes / gpus)
         waves = [self.wave_batch] * bottleneck_waves
-        return perf.step_breakdown(workload, {spec: [waves] * gpus}).total
+        return perf.step_breakdown(workload, {spec: [waves] * gpus})
+
+    def step_time(self, gpus: int, perf: Optional[PerfModel] = None) -> float:
+        """Synchronous step time at an allocation of ``gpus`` devices."""
+        return self.step_breakdown(gpus, perf).total
 
     def throughput_steps(self, gpus: int, perf: Optional[PerfModel] = None) -> float:
         """Training progress rate, steps per simulated second."""

@@ -26,8 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
+from repro.core.fault_tolerance import RecoveryPolicy
 from repro.elastic.jobs import JobSpec, JobState, JobStatus
-from repro.hardware.perfmodel import PerfModel
+from repro.framework import get_workload
+from repro.hardware.interconnect import DegradedInterconnect
+from repro.hardware.perfmodel import ClusterConditions, PerfModel, StepTimeBreakdown
 from repro.runtime import (
     DeviceLease,
     DevicePool,
@@ -143,6 +146,18 @@ class TrainingClusterProcess:
         self._lease_seconds: Dict[int, float] = {}
         self._time = 0.0
         self._runtime: Optional[Runtime] = None
+        # Chaos wiring (all inert until configure_chaos is called): shared
+        # degradation state, the recovery timing policy, per-job recovery
+        # stalls (kept separate from resize stalls so the no-chaos stall
+        # semantics — and the golden traces — are untouched), retry attempt
+        # counters, and memoized *clean* step breakdowns for derating.
+        self.conditions: Optional[ClusterConditions] = None
+        self.recovery: Optional[RecoveryPolicy] = None
+        self.recoveries: List[Tuple[float, int, int, str, float, int, float]] = []
+        self._recover_until: Dict[int, float] = {}
+        self._recover_attempt: Dict[int, int] = {}
+        self._breakdowns: Dict[Tuple[int, int], StepTimeBreakdown] = {}
+        self._chaos_interconnect = None
 
     # -- process protocol ----------------------------------------------------
 
@@ -175,12 +190,30 @@ class TrainingClusterProcess:
 
     def _rate(self, job: JobState) -> float:
         """Steps/second at the job's current allocation (memoized: the rate
-        is a pure function of (spec, gpus) under a fixed perf model)."""
+        is a pure function of (spec, gpus) under a fixed perf model).
+
+        Under active chaos conditions the clean rate is derated through the
+        memoized step breakdown: the lease's bottleneck straggler slows the
+        on-device components, a network window inflates the all-reduce.  With
+        no active degradation the memoized clean rate is returned unchanged.
+        """
         key = (job.job_id, job.gpus)
         rate = self._rate_cache.get(key)
         if rate is None:
             rate = job.spec.throughput_steps(job.gpus, self.perf)
             self._rate_cache[key] = rate
+        conditions = self.conditions
+        if conditions is not None and conditions.degraded:
+            lease = self._leases.get(job.job_id)
+            ids = lease.device_ids if lease is not None else ()
+            speed = conditions.bottleneck_speed(ids)
+            network = conditions.network_factor
+            if speed != 1.0 or network != 1.0:
+                bd = self._breakdowns.get(key)
+                if bd is None:
+                    bd = job.spec.step_breakdown(job.gpus, self.perf)
+                    self._breakdowns[key] = bd
+                return 1.0 / bd.degraded(speed, network)
         return rate
 
     # -- the event wake ------------------------------------------------------
@@ -204,6 +237,16 @@ class TrainingClusterProcess:
                                   if j.status == JobStatus.RUNNING}
         return data
 
+    def _stall_for(self, job_id: int, default: float) -> float:
+        """The instant the job resumes progress: the later of its resize
+        stall and its crash-recovery stall.  With no chaos the recovery map
+        is empty and this is exactly the pre-chaos resize-stall lookup."""
+        stall = self._stall_until.get(job_id, default)
+        recover = self._recover_until.get(job_id)
+        if recover is not None and recover > stall:
+            return recover
+        return stall
+
     def advance_to(self, t: float) -> None:
         """Progress every running job from the last event time to ``t``."""
         for job in self.arrived:
@@ -211,7 +254,7 @@ class TrainingClusterProcess:
                 continue
             rate = self._rates.get(job.job_id)
             if rate is not None:
-                start = max(self._time, self._stall_until.get(job.job_id, self._time))
+                start = max(self._time, self._stall_for(job.job_id, self._time))
                 span = max(0.0, t - start)
                 job.steps_done = min(job.spec.total_steps,
                                      job.steps_done + span * rate)
@@ -272,12 +315,16 @@ class TrainingClusterProcess:
                 job.set_allocation(now, new_gpus)
                 if was_running and new_gpus > 0 and self.scheduler.elastic:
                     self._stall_until[job.job_id] = now + self.resize_delay
+        # Leases sync before rates: under chaos a job's rate depends on
+        # which devices its lease holds (straggler bottleneck), so the rate
+        # must see the post-resize membership.  Without chaos _rate is a
+        # pure function of (spec, gpus) and the order is immaterial.
+        self._sync_leases(now)
         self._rates = {
             job.job_id: self._rate(job)
             for job in self.arrived
             if job.status == JobStatus.RUNNING and job.gpus > 0
         }
-        self._sync_leases(now)
         self.history.append((now, {j.job_id: j.gpus for j in self.arrived
                                    if j.status == JobStatus.RUNNING}))
 
@@ -315,7 +362,7 @@ class TrainingClusterProcess:
             rate = self._rates.get(job.job_id)
             if rate is None:
                 continue
-            start = max(t, self._stall_until.get(job.job_id, t))
+            start = max(t, self._stall_for(job.job_id, t))
             eta = start + job.remaining_steps / rate
             event = self._eta_events.get(job.job_id)
             if event is not None and event.alive and event.time == eta:
@@ -342,6 +389,92 @@ class TrainingClusterProcess:
         self._complete(now)
         self._reallocate(now)
         self._refresh_etas(now)
+
+    # -- chaos hooks ---------------------------------------------------------
+
+    def configure_chaos(self, conditions: ClusterConditions,
+                        recovery: Optional[RecoveryPolicy] = None) -> None:
+        """Wire shared degradation state and a recovery timing policy in.
+
+        Called once by the chaos installer before the runtime starts; until
+        then every chaos path in this class is inert.
+        """
+        self.conditions = conditions
+        self.recovery = recovery or RecoveryPolicy()
+        self._chaos_interconnect = DegradedInterconnect(
+            self.perf.interconnect, conditions)
+
+    def on_conditions_changed(self, now: float) -> None:
+        """Re-rate every running job after a straggler or network change."""
+        self.advance_to(now)
+        self._rates = {
+            job.job_id: self._rate(job)
+            for job in self.arrived
+            if job.status == JobStatus.RUNNING and job.gpus > 0
+        }
+        self._refresh_etas(now)
+
+    def on_device_failed(self, now: float, device_id: int,
+                         lease: DeviceLease) -> None:
+        """React to a crash that force-revoked ``device_id`` from one of our
+        job leases: mirror the shrink into the job's allocation and stall it
+        for the recovery priced by the policy (migrate vs checkpoint).
+
+        The chaos controller follows up with a budget repair (the healthy
+        capacity dropped), which triggers a full reallocation — so this
+        method only has to make the crashed job's own state consistent.
+        """
+        job_id = next(
+            (jid for jid, held in self._leases.items() if held is lease), None)
+        if job_id is None:
+            return  # lease was released at this same instant (job finished)
+        self.advance_to(now)
+        job = self.jobs[job_id]
+        self.resize_events.append((now, job_id, job.gpus, lease.size))
+        job.set_allocation(now, lease.size)
+        self._recover(now, job, device_id, lease)
+        if job.gpus == 0:
+            event = self._eta_events.pop(job_id, None)
+            if event is not None:
+                event.cancel()
+        self._rates = {
+            j.job_id: self._rate(j)
+            for j in self.arrived
+            if j.status == JobStatus.RUNNING and j.gpus > 0
+        }
+        self._refresh_etas(now)
+
+    def _recover(self, now: float, job: JobState, device_id: int,
+                 lease: DeviceLease) -> None:
+        """Price the recovery and stall the job; escalate on pile-ups.
+
+        A crash landing while the job is still recovering from the last one
+        counts as a retry and pays exponential backoff on top; after
+        ``max_retries`` piled-up attempts (or under the checkpoint-baseline
+        policy) the job rolls back to its last checkpoint boundary instead.
+        """
+        policy = self.recovery or RecoveryPolicy()
+        jid = job.job_id
+        recovering = now < self._recover_until.get(jid, 0.0)
+        attempt = self._recover_attempt.get(jid, 0) + 1 if recovering else 0
+        self._recover_attempt[jid] = attempt
+        survivors = max(1, lease.size)
+        lost = 0.0
+        if policy.mode == "checkpoint" or attempt > policy.max_retries:
+            mode = "checkpoint"
+            stall = policy.checkpoint_stall()
+            rolled = policy.rollback_steps(job.steps_done)
+            lost = job.steps_done - rolled
+            job.steps_done = rolled
+        else:
+            mode = "migrate"
+            param_bytes = get_workload(job.spec.workload).footprint.param_bytes
+            interconnect = self._chaos_interconnect or self.perf.interconnect
+            stall = policy.migration_stall(param_bytes, survivors, interconnect)
+        stall += policy.backoff(attempt)
+        until = now + stall
+        self._recover_until[jid] = max(self._recover_until.get(jid, 0.0), until)
+        self.recoveries.append((now, jid, device_id, mode, stall, attempt, lost))
 
     def device_seconds(self) -> Dict[int, float]:
         """Per-job device-seconds accrued by the pool's lease accounting."""

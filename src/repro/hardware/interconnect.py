@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.utils.units import GB
 
-__all__ = ["Interconnect", "ring_allreduce_time"]
+__all__ = ["DegradedInterconnect", "Interconnect", "ring_allreduce_time"]
 
 # 16 Gbps (paper §6.1) in bytes/second.
 DEFAULT_BANDWIDTH = 2 * GB
@@ -58,3 +58,40 @@ class Interconnect:
             return 0.0
         transfer = (n_workers - 1) / n_workers * nbytes / self.bandwidth * n_workers
         return self.latency * (n_workers - 1) + transfer
+
+
+class DegradedInterconnect:
+    """An interconnect view whose collective costs scale with a live factor.
+
+    Chaos network-degradation windows mutate a shared conditions object; this
+    wrapper reads the current ``network_factor`` at *call* time, so any §4.1
+    all-gather or ring all-reduce priced through it during a window costs
+    proportionally more.  At factor 1.0 the multiplication is a float no-op
+    (``x * 1.0 == x`` bit-exactly), so wiring the wrapper in is invisible
+    until a window actually opens.
+
+    ``conditions`` is anything with a ``network_factor`` attribute
+    (:class:`repro.hardware.perfmodel.ClusterConditions` in practice).
+    """
+
+    def __init__(self, base: Interconnect, conditions) -> None:
+        self.base = base
+        self.conditions = conditions
+
+    @property
+    def bandwidth(self) -> float:
+        return self.base.bandwidth
+
+    @property
+    def latency(self) -> float:
+        return self.base.latency
+
+    @property
+    def factor(self) -> float:
+        return float(self.conditions.network_factor)
+
+    def allreduce_time(self, nbytes: int, n_workers: int) -> float:
+        return self.base.allreduce_time(nbytes, n_workers) * self.factor
+
+    def allgather_time(self, nbytes: int, n_workers: int) -> float:
+        return self.base.allgather_time(nbytes, n_workers) * self.factor

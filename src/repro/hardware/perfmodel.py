@@ -31,7 +31,7 @@ This single model reproduces all of the paper's performance figures:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, Sequence
 
 from repro.hardware.interconnect import Interconnect
 
@@ -39,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.framework.models import Workload
     from repro.hardware.device import DeviceSpec
 
-__all__ = ["PerfModel", "StepTimeBreakdown"]
+__all__ = ["ClusterConditions", "PerfModel", "StepTimeBreakdown"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,84 @@ class StepTimeBreakdown:
     @property
     def total(self) -> float:
         return self.compute + self.update + self.comm
+
+    def degraded(self, speed: float = 1.0, network: float = 1.0) -> float:
+        """Step time when the bottleneck device runs at ``speed`` (a straggler
+        at e.g. 0.6x) and the interconnect costs ``network`` times its clean
+        rate (a degradation window).
+
+        Both on-device components slow by the straggler (a synchronous step is
+        bottlenecked on the slowest worker) while only the gradient sync pays
+        the network multiplier.  At ``speed == network == 1.0`` this returns
+        exactly :attr:`total`, bit for bit — ``(c+u)/1.0 + m*1.0`` is the same
+        float expression — so chaos-free paths can share one code path.
+        """
+        if speed <= 0:
+            raise ValueError(f"straggler speed must be positive, got {speed}")
+        if network <= 0:
+            raise ValueError(f"network factor must be positive, got {network}")
+        return (self.compute + self.update) / speed + self.comm * network
+
+
+class ClusterConditions:
+    """Mutable degradation state shared between chaos injection and pricing.
+
+    The chaos controller mutates this (straggler onset/clear, network window
+    open/close); consumers read it at pricing time: the training simulator
+    derates a job's step rate by its lease's bottleneck straggler, the router
+    stretches micro-batch service latency, and :class:`DegradedInterconnect`
+    scales §4.1 collective costs.  A default-constructed instance is the
+    clean cluster: every query answers 1.0.
+    """
+
+    def __init__(self) -> None:
+        self._speed: Dict[int, float] = {}
+        self._network = 1.0
+
+    @property
+    def network_factor(self) -> float:
+        return self._network
+
+    @network_factor.setter
+    def network_factor(self, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"network factor must be positive, got {factor}")
+        self._network = float(factor)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any straggler or network window is currently active."""
+        return bool(self._speed) or self._network != 1.0
+
+    @property
+    def straggler_ids(self) -> Sequence[int]:
+        return sorted(self._speed)
+
+    def set_straggler(self, device_id: int, speed: float) -> None:
+        """Mark ``device_id`` as running at ``speed`` (0 < speed < 1)."""
+        if not 0.0 < speed <= 1.0:
+            raise ValueError(
+                f"straggler speed must be in (0, 1], got {speed}")
+        if speed == 1.0:
+            self._speed.pop(device_id, None)
+        else:
+            self._speed[device_id] = float(speed)
+
+    def clear_straggler(self, device_id: int) -> None:
+        self._speed.pop(device_id, None)
+
+    def device_speed(self, device_id: int) -> float:
+        return self._speed.get(device_id, 1.0)
+
+    def bottleneck_speed(self, device_ids: Iterable[int]) -> float:
+        """Speed of the slowest device in a synchronous group (1.0 if clean)."""
+        if not self._speed:
+            return 1.0
+        return min((self._speed.get(d, 1.0) for d in device_ids), default=1.0)
+
+    def serving_latency(self, latency: float, device_ids: Iterable[int]) -> float:
+        """Micro-batch service latency through the group's bottleneck device."""
+        return latency / self.bottleneck_speed(device_ids)
 
 
 class PerfModel:

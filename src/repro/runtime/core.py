@@ -992,7 +992,19 @@ class Runtime:
                     if n == 0:
                         continue
                     clock.advance(float(time_s[-1]))
-                    action(time_s)
+                    try:
+                        action(time_s)
+                    except BaseException as exc:
+                        # Journal the whole run (the crash point inside it
+                        # is not knowable here) before re-raising; the
+                        # finally below flushes everything to disk.
+                        if trace is not None:
+                            trace.emit_many(time_s, seq_s, kind, actor)
+                            trace.emit(
+                                float(time_s[-1]), int(seq_s[-1]), kind,
+                                actor,
+                                {"error": f"{type(exc).__name__}: {exc}"})
+                        raise
                     processed += n
                     self._events_processed += n
                     if trace is not None:
@@ -1003,7 +1015,17 @@ class Runtime:
                             f"clock cannot run backwards: {time_s!r} < "
                             f"{clock._now!r}")
                     clock._now = time_s
-                    data = action(time_s)
+                    try:
+                        data = action(time_s)
+                    except BaseException as exc:
+                        # A crashed action still journals its event — with
+                        # the exception in place of its data — so a trace
+                        # file always explains where the run died.
+                        if trace is not None:
+                            trace.emit(
+                                time_s, seq_s, kind, actor,
+                                {"error": f"{type(exc).__name__}: {exc}"})
+                        raise
                     processed += 1
                     self._events_processed += 1
                     if trace is not None:

@@ -20,6 +20,13 @@ every size change (and at :meth:`settle`), the same running sum the router
 kept inline.  :meth:`audit` checks conservation — busy + idle device-seconds
 must equal ``capacity * elapsed`` — so a rescale boundary that double-counts
 or drops an interval is caught structurally, not by eyeballing reports.
+
+Chaos injection adds a third state: a **failed** device is quarantined out
+of both the free list and whatever lease held it (:meth:`fail_device`
+force-revokes mid-lease), accrues into its own bucket, and re-enters the
+free list on :meth:`revive_device`.  Conservation then reads
+busy + idle + failed == capacity * elapsed, so crash/revive boundaries are
+held to the same accounting standard as rescales.
 """
 
 from __future__ import annotations
@@ -97,8 +104,10 @@ class DevicePool:
             raise ValueError("need at least one device")
         self._all: Tuple[int, ...] = tuple(ids)
         self._free: List[int] = list(ids)  # kept sorted ascending
+        self._failed: List[int] = []  # kept sorted ascending
         self._leases: List[DeviceLease] = []
         self._idle_accrued = 0.0
+        self._failed_accrued = 0.0
         self._last = 0.0
 
     # -- introspection -------------------------------------------------------
@@ -126,6 +135,23 @@ class DevicePool:
     def leased_count(self) -> int:
         return sum(lease.size for lease in self._leases if lease.active)
 
+    @property
+    def failed_ids(self) -> Tuple[int, ...]:
+        """Devices currently quarantined by :meth:`fail_device`, ascending."""
+        return tuple(self._failed)
+
+    @property
+    def healthy_capacity(self) -> int:
+        """Devices not currently failed — the budget chaos-aware consumers see."""
+        return len(self._all) - len(self._failed)
+
+    def lease_of(self, device_id: int) -> Optional[DeviceLease]:
+        """The active lease holding ``device_id``, or ``None`` if free/failed."""
+        for lease in self._leases:
+            if lease.active and device_id in lease._ids:
+                return lease
+        return None
+
     # -- internal ------------------------------------------------------------
 
     def _accrue_idle(self, now: float) -> None:
@@ -133,6 +159,7 @@ class DevicePool:
             raise LeaseError(
                 f"pool accounting cannot run backwards: {now!r} < {self._last!r}")
         self._idle_accrued += (now - self._last) * len(self._free)
+        self._failed_accrued += (now - self._last) * len(self._failed)
         self._last = now
 
     def _take(self, n: int, now: float) -> List[int]:
@@ -211,6 +238,44 @@ class DevicePool:
             if lease.active:
                 lease._accrue(now)
 
+    # -- chaos: crash / revive -----------------------------------------------
+
+    def fail_device(self, device_id: int, now: float) -> Optional[DeviceLease]:
+        """Take one specific device out of service (a crash), mid-lease if held.
+
+        Unlike :meth:`resize` — which always drops the *highest* held ids —
+        a crash targets an arbitrary device: it is force-revoked from
+        whatever lease holds it (after charging the lease at its old size
+        through ``now``), or removed from the free list.  The device is
+        quarantined until :meth:`revive_device`.  Returns the lease it was
+        revoked from, or ``None`` if it was free, so the caller can route
+        the reaction (remap serving, stall the training job, ...).
+        """
+        if device_id not in self._all:
+            raise LeaseError(f"unknown device id {device_id}")
+        if device_id in self._failed:
+            raise LeaseError(f"device {device_id} is already failed")
+        self._accrue_idle(now)
+        if device_id in self._free:
+            self._free.remove(device_id)
+            self._failed = sorted(self._failed + [device_id])
+            return None
+        lease = self.lease_of(device_id)
+        if lease is None:  # pragma: no cover - free+leased+failed covers _all
+            raise LeaseError(f"device {device_id} is in no pool state")
+        lease._accrue(now)
+        lease._ids = tuple(d for d in lease._ids if d != device_id)
+        self._failed = sorted(self._failed + [device_id])
+        return lease
+
+    def revive_device(self, device_id: int, now: float) -> None:
+        """Return a failed device to the free list (repair completed)."""
+        if device_id not in self._failed:
+            raise LeaseError(f"device {device_id} is not failed")
+        self._accrue_idle(now)
+        self._failed.remove(device_id)
+        self._free = sorted(self._free + [device_id])
+
     def _check_active(self, lease: DeviceLease) -> None:
         if not lease.active:
             raise LeaseError(f"lease for {lease.owner!r} was already released")
@@ -242,20 +307,26 @@ class DevicePool:
         overlap = set(held) & set(self._free)
         if overlap:
             raise LeaseError(f"device(s) both free and leased: {sorted(overlap)}")
-        if len(held) + len(self._free) != self.capacity:
+        quarantined = set(self._failed) & (set(held) | set(self._free))
+        if quarantined:
             raise LeaseError(
-                f"{len(held)} leased + {len(self._free)} free != "
-                f"capacity {self.capacity}")
+                f"failed device(s) still free or leased: {sorted(quarantined)}")
+        if len(held) + len(self._free) + len(self._failed) != self.capacity:
+            raise LeaseError(
+                f"{len(held)} leased + {len(self._free)} free + "
+                f"{len(self._failed)} failed != capacity {self.capacity}")
         busy = self.device_seconds()
         expected = self.capacity * self._last
-        total = busy + self._idle_accrued
+        total = busy + self._idle_accrued + self._failed_accrued
         if abs(total - expected) > 1e-6 * max(1.0, expected):
             raise LeaseError(
                 f"device-seconds not conserved: busy {busy:g} + idle "
-                f"{self._idle_accrued:g} != capacity*elapsed {expected:g}")
+                f"{self._idle_accrued:g} + failed {self._failed_accrued:g} "
+                f"!= capacity*elapsed {expected:g}")
         return {
             "busy_device_seconds": busy,
             "idle_device_seconds": self._idle_accrued,
+            "failed_device_seconds": self._failed_accrued,
             "elapsed": self._last,
             "capacity": float(self.capacity),
         }

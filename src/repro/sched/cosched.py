@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.chaos import ChaosController, ChaosProcess, FaultPlan
+from repro.core.fault_tolerance import RecoveryPolicy
 from repro.core.inference import InferenceEngine
 from repro.core.mapping import Mapping
 from repro.core.virtual_node import VirtualNodeSet
@@ -38,6 +40,7 @@ from repro.elastic.trace import ServingPhase
 from repro.elastic.wfs import ElasticWFSScheduler
 from repro.framework.models import get_workload
 from repro.hardware.cluster import Cluster
+from repro.hardware.perfmodel import ClusterConditions
 from repro.runtime import (
     DeviceLease,
     DevicePool,
@@ -62,11 +65,18 @@ class CoScheduler:
     harvests training devices *before* a grow, so the free devices exist
     when the router resizes its lease; :meth:`notify_rescaled` (the
     ``on_rescaled`` hook) runs synchronously after the lease actually
-    moved and restores the invariant ``training budget = pool capacity -
-    serving devices`` — after a shrink the released devices are free by
-    then, and because the call is synchronous no reclaim can be lost to
-    the runtime stopping at the same instant.  Budget moves are recorded
-    in :attr:`harvests`.
+    moved and restores the invariant ``training budget = healthy pool
+    capacity - serving devices`` — after a shrink the released devices
+    are free by then, and because the call is synchronous no reclaim can
+    be lost to the runtime stopping at the same instant.  Budget moves
+    are recorded in :attr:`harvests`.
+
+    Under chaos the arbitrated quantity is the pool's *healthy* capacity
+    (quarantined devices belong to nobody): the chaos controller calls
+    :meth:`on_capacity_changed` after every crash/revive, which is also
+    where a checkpoint restore racing a serving spike gets arbitrated —
+    the serving lease keeps what the governor granted it and training
+    absorbs the entire capacity loss, down to zero if need be.
     """
 
     def __init__(self, pool: DevicePool, training: TrainingClusterProcess,
@@ -91,16 +101,33 @@ class CoScheduler:
 
     def grant(self, now: float, target: int) -> int:
         """Decide how many devices the router's rescale may actually take."""
-        granted = max(0, min(target, self.pool.capacity - self.train_floor))
+        healthy = self.pool.healthy_capacity
+        # With every device healthy this is the old capacity - train_floor
+        # cap; under failures serving is still guaranteed one device so the
+        # router never starves outright while quarantined devices sit idle.
+        granted = max(0, min(target, max(1, healthy - self.train_floor)))
         if granted > self.serving_lease.size:
             # Harvest first: the router resizes its lease right after this
             # returns, and the devices must already be free.
-            self._set_budget(now, self.pool.capacity - granted)
+            self._set_budget(now, max(0, healthy - granted))
         return granted
 
     def notify_rescaled(self, now: float) -> None:
         """Re-establish the budget invariant after the lease moved."""
-        self._set_budget(now, self.pool.capacity - self.serving_lease.size)
+        self.on_capacity_changed(now)
+
+    def on_capacity_changed(self, now: float) -> None:
+        """Re-arbitrate after the lease moved or healthy capacity changed.
+
+        Training gets everything the router does not hold, measured against
+        *healthy* capacity — a crash on either tenant shrinks the training
+        budget (the serving lease has already shed the dead device by the
+        time the chaos controller calls this), and a revive hands the
+        returning device to training unless the router re-grows first.
+        """
+        self._set_budget(
+            now,
+            max(0, self.pool.healthy_capacity - self.serving_lease.size))
 
 
 @dataclass
@@ -115,6 +142,8 @@ class CoschedReport:
     harvests: List[Tuple[float, int, int]] = field(default_factory=list)
     train_device_seconds: Dict[int, float] = field(default_factory=dict)
     events_processed: int = 0
+    # ChaosController.stats() digest when a fault plan was injected.
+    chaos: Optional[Dict[str, object]] = None
 
     @property
     def train_steps(self) -> float:
@@ -140,6 +169,18 @@ class CoschedReport:
             "train_avg_devices": self.train_avg_devices(),
             "harvests": float(len(self.harvests)),
         })
+        if self.chaos is not None:
+            out.update({
+                "chaos_crashes": float(self.chaos.get("crashes", 0)),
+                "chaos_straggler_windows": float(
+                    self.chaos.get("straggler_windows", 0)),
+                "chaos_network_windows": float(
+                    self.chaos.get("network_windows", 0)),
+                "chaos_requeued_requests": float(
+                    self.chaos.get("requeued_requests", 0)),
+                "chaos_checkpoint_restores": float(
+                    self.chaos.get("checkpoint_restores", 0)),
+            })
         return out
 
 
@@ -186,6 +227,9 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
                 source: Optional[RequestSource] = None,
                 trace: Optional[Union[str, EventTrace]] = None,
                 queue_backend: Optional[str] = None,
+                fault_plan: Optional[FaultPlan] = None,
+                recovery: Optional[RecoveryPolicy] = None,
+                retry_delay: float = 0.05,
                 ) -> CoschedReport:
     """Run elastic training jobs and a serving router on one shared pool.
 
@@ -195,6 +239,14 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
     ``pool_devices - initial_serving`` and moves with every harvest/reclaim.
     The run ends when the serving source drains; training progress is
     settled at that instant.
+
+    With a ``fault_plan``, a :class:`~repro.chaos.ChaosProcess` injects the
+    plan's crash/straggler/network events as ordinary runtime events:
+    training recovers per ``recovery`` (default migrate-mode
+    :class:`RecoveryPolicy`), the router re-admits requests from failed
+    devices after ``retry_delay``, and the co-scheduler re-arbitrates the
+    healthy capacity after every crash/revive.  Without one, every chaos
+    hook is a bit-exact no-op.
     """
     if pool_devices < 2:
         raise ValueError(
@@ -258,6 +310,19 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
         resize_delay=resize_delay)
     cosched = CoScheduler(dpool, training, serving_lease,
                           train_floor=train_floor)
+
+    controller: Optional[ChaosController] = None
+    if fault_plan is not None:
+        conditions = ClusterConditions()
+        controller = ChaosController(dpool, conditions, training=training,
+                                     router=router, cosched=cosched)
+        training.configure_chaos(conditions, recovery)
+        # A static (non-autoscaled) deployment wants its pinned size back
+        # after a crash; an autoscaled one re-grows on its own signal.
+        router.configure_chaos(
+            conditions, retry_delay=retry_delay,
+            restore_target=None if autoscale else initial_serving)
+
     with open_trace(trace) as writer:
         runtime = Runtime(trace=writer, queue_backend=queue_backend)
         router.bind(runtime, device_pool=dpool, lease=serving_lease,
@@ -266,6 +331,8 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
                     on_drain=lambda t: runtime.stop())
         runtime.add(training)
         runtime.add(router)
+        if fault_plan is not None:
+            runtime.add(ChaosProcess(fault_plan, controller))
         runtime.run()
 
     end = max(router.report.duration, runtime.now)
@@ -281,4 +348,5 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
         harvests=list(cosched.harvests),
         train_device_seconds=training.device_seconds(),
         events_processed=runtime.events_processed,
+        chaos=controller.stats() if controller is not None else None,
     )

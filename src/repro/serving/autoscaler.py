@@ -285,6 +285,21 @@ class LatencyAutoscaler:
             self._down_streak = 0
         return None
 
+    def on_failure(self, now: float) -> None:
+        """A serving device just crashed out of the allocation.
+
+        Latency evidence gathered at the pre-failure capacity is stale —
+        clear the window and the persistence streaks so the next decision
+        is argued entirely from post-failure samples.  The failure also
+        counts as an action for the scale-*down* cooldown: shedding devices
+        moments after losing one is exactly the flap the cooldown exists to
+        prevent (scale-up remains immediate once evidence accumulates).
+        """
+        self._hist.clear()
+        self._up_streak = 0
+        self._down_streak = 0
+        self._last_action = now
+
     def _act(self, target: int, now: float, rate_hat: float,
              devices: int) -> Optional[int]:
         if target == devices:

@@ -49,6 +49,7 @@ from repro.data import make_dataset
 from repro.elastic.trace import ServingPhase
 from repro.framework.models import Workload, get_workload
 from repro.hardware.cluster import Cluster
+from repro.hardware.interconnect import DegradedInterconnect
 from repro.hardware.perfmodel import PerfModel
 from repro.runtime import (
     DeviceLease,
@@ -148,6 +149,8 @@ class ServingReport:
     final_devices: int = 0
     # request_id -> logits row, populated only when the router collects them.
     logits: Dict[int, np.ndarray] = field(default_factory=dict)
+    # Injected serving-device crashes: (time, device_id, requests requeued).
+    failures: List[Tuple[float, int, int]] = field(default_factory=list)
 
     def latencies(self) -> np.ndarray:
         return np.asarray([r.latency for r in self.records], dtype=float)
@@ -270,12 +273,46 @@ class RequestRouter:
         self._devices = self.devices
         self._batch_id = 0
         self._done = False
+        # Chaos wiring (inert until configure_chaos): the head-of-chain
+        # events are tracked so an injected crash can cut the single
+        # admit→plan→dispatch→complete chain and a retry can splice it back.
+        self._conditions = None
+        self._chaos_interconnect = None
+        self._retry_delay = 0.05
+        self._restore_target: Optional[int] = None
+        self._halted = False
+        self._admit_event = None
+        self._dispatch_event = None
+        self._inflight: Optional[Tuple[object, List[Request], int, float]] = None
 
     # -- elasticity -----------------------------------------------------------
 
     @property
     def devices(self) -> int:
         return len(self.inference.mapping.active_devices())
+
+    @property
+    def lease(self) -> Optional[DeviceLease]:
+        """The router's pool lease (the chaos controller routes crashes by it)."""
+        return self._lease
+
+    def configure_chaos(self, conditions, *, retry_delay: float = 0.05,
+                        restore_target: Optional[int] = None) -> None:
+        """Wire shared degradation state in (called by the chaos installer).
+
+        ``retry_delay`` is the timeout before requeued requests are retried
+        after a crash cut their in-flight batch.  ``restore_target`` makes a
+        statically-partitioned router re-grow toward its pinned size when
+        devices revive; autoscaled routers leave it ``None`` and let the
+        autoscaler re-earn capacity from post-failure evidence.
+        """
+        if retry_delay < 0:
+            raise ValueError("retry_delay must be >= 0")
+        self._conditions = conditions
+        self._retry_delay = retry_delay
+        self._restore_target = restore_target
+        self._chaos_interconnect = DegradedInterconnect(
+            self._cluster.interconnect, conditions)
 
     def _rescale(self, now: float, target: int) -> Optional[float]:
         """Resize the device lease and remap onto it; return the §4.1 cost.
@@ -300,7 +337,7 @@ class RequestRouter:
         cost = migration_time(
             old_mapping, new_mapping,
             model_bytes=self.inference.workload.footprint.param_bytes,
-            state_bytes=0)
+            state_bytes=0, interconnect=self._chaos_interconnect)
         self.inference.remap(new_mapping)
         if self._on_rescaled is not None:
             self._on_rescaled(now)
@@ -365,6 +402,10 @@ class RequestRouter:
         self._pending.clear()
         self._server_free = 0.0
         self._batch_id = 0
+        self._halted = False
+        self._admit_event = None
+        self._dispatch_event = None
+        self._inflight = None
         self._runtime = None  # force start() to rebind a fresh pool/lease
         with open_trace(trace) as writer:
             runtime = Runtime(trace=writer, queue_backend=queue_backend)
@@ -385,11 +426,12 @@ class RequestRouter:
         # busy past the arrival); the admission cutoff stays the arrival
         # time itself so the batch decision sees exactly the same queue.
         wake = max(nxt, self._runtime.now)
-        self._runtime.at(
+        self._admit_event = self._runtime.at(
             wake, lambda t, cutoff=nxt: self._on_admit(t, cutoff),
             kind="admit", actor=self.name)
 
     def _on_admit(self, t: float, cutoff: float) -> Dict[str, object]:
+        self._admit_event = None
         self._pending.extend(self.source.take_arrivals(cutoff))
         self._plan()
         return {"pending": len(self._pending)}
@@ -400,38 +442,52 @@ class RequestRouter:
         Pulls every arrival that can influence the decision: the batch can
         fill no later than max(deadline, server_free), and requests landing
         while the batch waits for the pipeline still make the dispatch.
+        A halted router (every serving device crashed) plans nothing; the
+        queue keeps filling and :meth:`on_device_revived` resumes the chain.
         """
+        if self._halted:
+            return
         deadline = self.policy.deadline(self._pending[0].arrival_time)
         horizon = max(deadline, self._server_free)
         self._admit(horizon)
+        # The clamp to the clock matters only after a crash reset
+        # _server_free: every normal plan already launches at or after now.
         launch = max(
             self.policy.trigger_time([r.arrival_time for r in self._pending]),
-            self._server_free)
+            self._server_free, self._runtime.now)
         self._admit(launch)
-        self._runtime.at(launch, self._dispatch, kind="dispatch",
-                         actor=self.name)
+        self._dispatch_event = self._runtime.at(
+            launch, self._dispatch, kind="dispatch", actor=self.name)
 
     def _dispatch(self, launch: float) -> Dict[str, object]:
         """Coalesce the batch, run it, and post its completion event."""
+        self._dispatch_event = None
         batch: List[Request] = []
         while (self._pending and len(batch) < self.policy.max_batch
                and self._pending[0].arrival_time <= launch):
             batch.append(self._pending.popleft())
 
         result = self.inference.predict_requests([r.example for r in batch])
-        completion = launch + result.sim_latency
+        latency = result.sim_latency
+        if self._conditions is not None and self._conditions.degraded:
+            # A straggler in the lease bottlenecks the whole micro-batch.
+            latency = self._conditions.serving_latency(
+                latency, self._lease.device_ids)
+        completion = launch + latency
         batch_id = self._batch_id
         self._batch_id += 1
-        self._runtime.at(
+        event = self._runtime.at(
             completion,
             lambda t: self._on_completion(t, batch, batch_id, launch, result),
             kind="complete", actor=self.name)
+        self._inflight = (event, batch, batch_id, launch)
         return {"batch_id": batch_id, "size": len(batch),
                 "devices": self._devices, "waves": result.waves}
 
     def _on_completion(self, completion: float, batch: List[Request],
                        batch_id: int, launch: float,
                        result) -> Dict[str, object]:
+        self._inflight = None
         report = self.report
         records = [
             RequestRecord(
@@ -472,6 +528,111 @@ class RequestRouter:
                                        "cost": cost}
         self._schedule_next()
         return data
+
+    # -- chaos reactions ------------------------------------------------------
+
+    def on_device_failed(self, now: float, device_id: int) -> None:
+        """React to a crash that force-revoked ``device_id`` from our lease.
+
+        Survivor remap is immediate (a shrink pays no §4.1 cost).  An
+        in-flight batch on the crashed pipeline is cancelled and its
+        requests requeued at the *front* of the pending queue with their
+        original arrival times — the retried requests' tail latency is the
+        visible cost of the failure — and a retry event re-enters the
+        dispatch chain after ``retry_delay``.  Losing the last device halts
+        the router until a revival.
+        """
+        if self._done:
+            return
+        requeued = 0
+        if self._lease.size == 0:
+            self._halted = True
+        else:
+            self._remap_to_lease(now)
+        if self._inflight is not None:
+            event, batch, _batch_id, _launch = self._inflight
+            event.cancel()
+            self._inflight = None
+            for r in reversed(batch):
+                self._pending.appendleft(r)
+            requeued = len(batch)
+            self._server_free = now  # the crashed pipeline is idle from here
+            if not self._halted:
+                self._schedule_retry(now)
+        elif (self._halted and self._dispatch_event is not None
+                and self._dispatch_event.alive):
+            self._dispatch_event.cancel()
+            self._dispatch_event = None
+        if self.autoscaler is not None:
+            self.autoscaler.on_failure(now)
+        self.report.failures.append((now, device_id, requeued))
+
+    def on_device_revived(self, now: float) -> None:
+        """React to pool capacity returning after a crash.
+
+        A statically-partitioned router re-grows toward its pinned
+        ``restore_target``; a halted router grabs one device to resume at
+        all (the autoscaler re-earns the rest from live evidence).
+        """
+        if self._done or self._lease is None or not self._lease.active:
+            return
+        target = self._lease.size
+        if self._restore_target is not None:
+            target = max(target, min(
+                self._restore_target,
+                self._lease.size + self._device_pool.free_count))
+        if self._halted and target == 0 and self._device_pool.free_count > 0:
+            target = 1
+        if target > self._lease.size:
+            self._device_pool.resize(self._lease, target, now)
+            self._remap_to_lease(now)
+        if self._halted and self._lease.size > 0:
+            self._halted = False
+            self._server_free = max(self._server_free, now)
+            self._schedule_retry(now)
+
+    def _remap_to_lease(self, now: float) -> float:
+        """Remap the engine onto exactly the lease's current devices."""
+        old_mapping = self.inference.mapping
+        new_mapping = Mapping.even(
+            old_mapping.vn_set,
+            self._cluster.subset(list(self._lease.device_ids)))
+        cost = migration_time(
+            old_mapping, new_mapping,
+            model_bytes=self.inference.workload.footprint.param_bytes,
+            state_bytes=0, interconnect=self._chaos_interconnect)
+        self.inference.remap(new_mapping)
+        old = self._devices
+        self._devices = self.devices
+        self.report.scaling_events.append((now, old, self._devices, cost))
+        if cost > 0:
+            self._server_free = max(self._server_free, now + cost)
+        if self._on_rescaled is not None:
+            self._on_rescaled(now)
+        return cost
+
+    def _schedule_retry(self, now: float) -> None:
+        self._runtime.at(now + self._retry_delay, self._on_retry,
+                         kind="retry", actor=self.name)
+
+    def _on_retry(self, t: float) -> Dict[str, object]:
+        """Splice the dispatch chain back together after a crash cut it."""
+        if self._halted:
+            return {"halted": True}
+        if (self._inflight is not None
+                or (self._dispatch_event is not None
+                    and self._dispatch_event.alive)):
+            return {"resumed": False}  # the chain is already live again
+        if self._pending:
+            if self._admit_event is not None and self._admit_event.alive:
+                # _plan's own admission pulls anything the cancelled admit
+                # event would have; the next _schedule_next re-posts one.
+                self._admit_event.cancel()
+                self._admit_event = None
+            self._plan()
+        elif self._admit_event is None or not self._admit_event.alive:
+            self._schedule_next()
+        return {"pending": len(self._pending)}
 
     def _finalize(self) -> None:
         if self._done:

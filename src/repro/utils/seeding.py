@@ -23,6 +23,7 @@ DOMAIN_DATA = 0x2B
 DOMAIN_DROPOUT = 0x3C
 DOMAIN_WORKLOAD = 0x4D
 DOMAIN_AUGMENT = 0x5F
+DOMAIN_CHAOS = 0x8C
 
 
 def derive_seed(root_seed: int, *coords: int) -> int:

@@ -147,3 +147,47 @@ class TestFaultTolerance:
         handle_device_failure(trainer.executor, [1, 2])
         record = trainer.train_epoch()
         assert np.isfinite(record.train_loss)
+
+
+class TestMigrationMemoryCheck:
+    """Migration must validate the post-failure plan against survivor memory.
+
+    Uneven VN sizes on a heterogeneous cluster: the batch-30 virtual node
+    fits the V100 but not a deliberately tiny device, so whether a failure
+    is survivable depends on *which* device dies.
+    """
+
+    @pytest.fixture
+    def hetero_executor(self, monkeypatch):
+        from repro.core import VirtualFlowExecutor, VirtualNodeSet
+        from repro.framework import SoftmaxCrossEntropy, get_workload
+        from repro.hardware.device import DEVICE_SPECS, Device, DeviceSpec, get_spec
+        from repro.utils.units import MB
+
+        tiny = DeviceSpec(name="MiniGPU", memory_bytes=115 * MB,
+                          compute_factor=1.0)
+        # The engine resolves specs by name through the global registry.
+        monkeypatch.setitem(DEVICE_SPECS, "MiniGPU", tiny)
+        workload = get_workload("mlp_synthetic")
+        vn_set = VirtualNodeSet.uneven([30, 2])
+        cluster = Cluster([Device(get_spec("V100"), 0), Device(tiny, 1)])
+        mapping = Mapping(vn_set, cluster, {0: 0, 1: 1})  # big VN on the V100
+        return VirtualFlowExecutor(
+            workload=workload, model=workload.build_model(0),
+            loss_fn=SoftmaxCrossEntropy(),
+            optimizer=workload.build_optimizer(), mapping=mapping, seed=0)
+
+    def test_migration_that_no_longer_fits_memory_is_rejected(
+            self, hetero_executor):
+        ex = hetero_executor
+        with pytest.raises(FaultToleranceError, match="no longer fits"):
+            handle_device_failure(ex, [0])  # batch-30 VN can't fit MiniGPU
+        # The executor must be left on its pre-failure mapping, not half
+        # migrated onto a device that cannot hold the plan.
+        assert set(ex.mapping.active_devices()) == {0, 1}
+
+    def test_migration_fits_after_losing_small_device(self, hetero_executor):
+        ex = hetero_executor
+        migration = handle_device_failure(ex, [1])  # V100 absorbs everything
+        assert migration >= 0
+        assert set(ex.mapping.active_devices()) == {0}

@@ -35,6 +35,17 @@ from repro.elastic import (  # noqa: E402
     spike_phases,
     three_job_trace,
 )
+from repro.chaos import (  # noqa: E402
+    CRASH,
+    NETWORK_END,
+    NETWORK_START,
+    REVIVE,
+    STRAGGLER_END,
+    STRAGGLER_START,
+    ChaosEvent,
+    FaultPlan,
+)
+from repro.sched import resident_training_jobs, run_cosched  # noqa: E402
 from repro.serving import serve_workload  # noqa: E402
 
 
@@ -98,10 +109,62 @@ def serving_to_dict(report) -> dict:
     }
 
 
+def cosched_to_dict(report) -> dict:
+    """Every observable field of a CoschedReport, floats untouched."""
+    return {
+        "serving": serving_to_dict(report.serving),
+        "duration": report.duration,
+        "pool_devices": report.pool_devices,
+        "harvests": [list(h) for h in report.harvests],
+        "train_device_seconds": {
+            str(k): v for k, v in sorted(report.train_device_seconds.items())},
+        "jobs": {
+            str(job_id): {
+                "status": state.status.value,
+                "gpus": state.gpus,
+                "steps_done": state.steps_done,
+                "allocation_log": [[t, g] for t, g in state.allocation_log],
+                "resizes": state.resizes,
+            }
+            for job_id, state in report.jobs.items()
+        },
+        "chaos": report.chaos,
+    }
+
+
+def chaos_crash_recover() -> dict:
+    """A small hand-written crash/recover scenario on a co-scheduled pool.
+
+    Covers every chaos event kind exactly once per side: a training-held
+    device crashes and revives (migration recovery), the serving device
+    crashes and revives (requeue + re-admission), one straggler window
+    derates a training device, and one network window stretches collective
+    costs.  Pinned as a golden fixture so the recovery timeline — stalls,
+    budget repairs, requeues — stays bit-identical under both backends.
+    """
+    plan = FaultPlan.from_events([
+        ChaosEvent(0.40, CRASH, 5),
+        ChaosEvent(0.60, CRASH, 0),
+        ChaosEvent(0.90, STRAGGLER_START, 3, factor=0.6),
+        ChaosEvent(1.10, REVIVE, 0),
+        ChaosEvent(1.20, NETWORK_START, factor=3.0),
+        ChaosEvent(1.40, STRAGGLER_END, 3),
+        ChaosEvent(1.60, REVIVE, 5),
+        ChaosEvent(1.70, NETWORK_END),
+    ], description="golden crash/recover scenario")
+    specs = resident_training_jobs(2, demand_gpus=4)
+    return cosched_to_dict(run_cosched(
+        "mlp_synthetic", [ServingPhase(2.0, 300.0)], specs,
+        pool_devices=6, max_batch=8, max_wait=0.002,
+        initial_serving=1, autoscale=True, slo_p99=0.035,
+        resize_delay=0.25, seed=2, fault_plan=plan))
+
+
 # The fixture matrix.  Simulation fixtures cover both schedulers on the
 # canonical §6.4.1 trace plus a 20-job Poisson trace (hundreds of events,
 # resizes, queueing); serving fixtures cover a fixed mapping and a spiky
-# autoscaled run (remaps, §4.1 costs, device-second accounting).
+# autoscaled run (remaps, §4.1 costs, device-second accounting); the chaos
+# fixture pins a crash/recover timeline end to end.
 def capture() -> dict:
     fixtures = {}
     trace3 = three_job_trace()
@@ -120,6 +183,7 @@ def capture() -> dict:
         "mlp_synthetic", spike_phases(400.0, 6.0, 3.0, 1.0),
         max_batch=16, max_wait=0.002, pool_devices=8,
         autoscale=True, slo_p99=0.030, initial_devices=2, seed=1))
+    fixtures["cosched_chaos_crash_recover"] = chaos_crash_recover()
     return fixtures
 
 

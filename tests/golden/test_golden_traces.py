@@ -26,6 +26,7 @@ FIXTURES = (
     "sim_trace20_wfs",
     "serve_fixed",
     "serve_autoscaled",
+    "cosched_chaos_crash_recover",
 )
 
 

@@ -131,3 +131,83 @@ class TestDeviceSecondAccounting:
         pool.release(a, 8.0)
         # Released leases keep contributing their history.
         assert pool.device_seconds("train") == pytest.approx(16.0)
+
+
+class TestFailRevive:
+    """Crash/revive quarantine invariants the chaos controller relies on."""
+
+    def test_fail_leased_device_revokes_it(self):
+        pool = DevicePool(4)
+        lease = pool.acquire("train", 3, 0.0)
+        owner = pool.fail_device(1, 1.0)
+        assert owner is lease
+        assert lease.device_ids == (0, 2)
+        assert pool.failed_ids == (1,)
+        assert pool.healthy_capacity == 3
+        assert pool.lease_of(1) is None
+
+    def test_fail_free_device_quarantines_it(self):
+        pool = DevicePool(4)
+        pool.acquire("a", 2, 0.0)
+        assert pool.fail_device(3, 1.0) is None
+        assert pool.free_ids == (2,)
+        assert pool.free_count == 1
+        # The quarantined device is not leasable.
+        with pytest.raises(LeaseError):
+            pool.acquire("b", 1, 1.0, ids=[3])
+
+    def test_no_double_lease_after_revive(self):
+        pool = DevicePool(2)
+        a = pool.acquire("a", 2, 0.0)
+        pool.fail_device(0, 1.0)
+        pool.revive_device(0, 2.0)
+        # Revive frees the device; it must be leasable exactly once.
+        b = pool.acquire("b", 1, 2.0)
+        assert b.device_ids == (0,)
+        assert set(a.device_ids) & set(b.device_ids) == set()
+        with pytest.raises(LeaseError):
+            pool.acquire("c", 1, 2.0, ids=[0])
+
+    def test_free_count_never_negative_under_churn(self):
+        pool = DevicePool(3)
+        lease = pool.acquire("a", 3, 0.0)
+        for t, dev in ((1.0, 0), (1.5, 1), (2.0, 2)):
+            pool.fail_device(dev, t)
+            assert pool.free_count >= 0
+        assert lease.size == 0 and pool.free_count == 0
+        for t, dev in ((3.0, 0), (3.5, 1), (4.0, 2)):
+            pool.revive_device(dev, t)
+            assert 0 <= pool.free_count <= 3
+        assert pool.free_count == 3
+
+    def test_fail_unknown_or_failed_device_rejected(self):
+        pool = DevicePool(2)
+        with pytest.raises(LeaseError):
+            pool.fail_device(7, 0.0)
+        pool.fail_device(1, 0.0)
+        with pytest.raises(LeaseError):
+            pool.fail_device(1, 1.0)       # already down
+        with pytest.raises(LeaseError):
+            pool.revive_device(0, 1.0)     # never failed
+
+    def test_three_way_conservation_across_crash_revive(self):
+        # busy + idle + failed == capacity * elapsed, exactly.
+        pool = DevicePool(4)
+        lease = pool.acquire("train", 3, 0.0)
+        pool.fail_device(1, 2.0)           # leased -> failed
+        pool.fail_device(3, 3.0)           # free -> failed
+        pool.revive_device(1, 5.0)         # failed -> free
+        pool.resize(lease, 3, 6.0)         # re-grow over the revived device
+        pool.revive_device(3, 7.0)
+        pool.settle(10.0)
+        audit = pool.audit(10.0)
+        total = (audit["busy_device_seconds"] + audit["idle_device_seconds"]
+                 + audit["failed_device_seconds"])
+        assert total == pytest.approx(4 * 10.0)
+        # Failed bucket: device 1 down [2, 5], device 3 down [3, 7].
+        assert audit["failed_device_seconds"] == pytest.approx(3.0 + 4.0)
+        # The revoked device stopped billing its owner at the crash.
+        assert lease.device_seconds == pytest.approx(
+            3 * 2.0        # 3 devices [0, 2]
+            + 2 * 4.0      # 2 devices [2, 6]
+            + 3 * 4.0)     # 3 devices [6, 10]

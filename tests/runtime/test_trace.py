@@ -101,6 +101,48 @@ class TestEmitMany:
                 for line in fh.getvalue().splitlines()] == [1.5, 2.5]
 
 
+class TestCrashDurability:
+    def test_events_before_a_crash_reach_the_file(self, tmp_path):
+        """An exception mid-run must not strand buffered events: the journal
+        keeps everything up to and including the failing action, and the
+        failing event carries the error in its payload."""
+        path = str(tmp_path / "crash.jsonl")
+
+        def boom(t):
+            raise RuntimeError("injected failure")
+
+        trace = EventTrace(path, buffer_lines=1000)
+        runtime = Runtime(trace=trace)
+        runtime.at(1.0, lambda t: None, kind="ok", actor="a")
+        runtime.at(2.0, boom, kind="bad", actor="a")
+        runtime.at(3.0, lambda t: None, kind="never", actor="a")
+        with pytest.raises(RuntimeError, match="injected failure"):
+            runtime.run()
+        trace.close()
+
+        events = read_trace(path)
+        assert [e["kind"] for e in events] == ["ok", "bad"]
+        assert events[1]["data"]["error"] == "RuntimeError: injected failure"
+
+    def test_owned_trace_is_flushed_even_when_the_run_raises(self, tmp_path):
+        # The open_trace contract used by every *_workload entry point:
+        # the path-owned writer is closed (hence flushed) on the error path.
+        path = str(tmp_path / "owned.jsonl")
+        with pytest.raises(ValueError, match="sabotage"):
+            with open_trace(path) as writer:
+                runtime = Runtime(trace=writer)
+                runtime.at(0.5, lambda t: None, kind="ok", actor="a")
+
+                def fail(t):
+                    raise ValueError("sabotage")
+
+                runtime.at(1.0, fail, kind="bad", actor="a")
+                runtime.run()
+        events = read_trace(path)
+        assert [e["kind"] for e in events] == ["ok", "bad"]
+        assert "sabotage" in events[1]["data"]["error"]
+
+
 class TestOpenTrace:
     def test_path_is_owned_and_instance_passes_through(self, tmp_path):
         path = str(tmp_path / "t.jsonl")

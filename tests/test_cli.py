@@ -46,6 +46,8 @@ VALID_ARGS = {
               "--arrival-rate", "100"],
     "cosched": ["cosched", "--workload", "mlp_synthetic",
                 "--arrival-rate", "100"],
+    "chaos": ["chaos", "--workload", "mlp_synthetic",
+              "--arrival-rate", "100"],
     "plan": ["plan", "--workload", "mlp_synthetic", "--batch", "32",
              "--virtual-nodes", "4"],
     "profile": ["profile", "--workload", "mlp_synthetic"],
@@ -86,7 +88,8 @@ class TestSubcommandParsing:
             with pytest.raises(SystemExit):
                 build_parser().parse_args(VALID_ARGS[command] + ["--no-arena"])
 
-    @pytest.mark.parametrize("command", ["serve", "cosched", "simulate"])
+    @pytest.mark.parametrize("command", ["serve", "cosched", "chaos",
+                                         "simulate"])
     def test_trace_out_accepted_on_runtime_commands(self, command):
         args = build_parser().parse_args(
             VALID_ARGS[command] + ["--trace-out", "timeline.jsonl"])
@@ -187,6 +190,29 @@ class TestSubcommandParsing:
         assert args.trace_out is None
         assert args.train_workload in ("resnet56_cifar10",)
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(VALID_ARGS["chaos"])
+        assert args.crash_rate > 0          # chaos injects by default
+        assert args.mttr > 0
+        assert args.recovery == "migrate"
+        assert args.chaos_seed is None      # falls back to --seed
+        assert args.devices == 8            # shares the cosched flag set
+
+    @pytest.mark.parametrize("extra", [
+        ["--crash-rate", "-1"],
+        ["--mttr", "0"],
+        ["--straggler-rate", "-0.5"],
+        ["--straggler-factor", "1.5"],
+        ["--straggler-factor", "0"],
+        ["--network-factor", "1"],
+        ["--network-rate", "-1"],
+        ["--retry-delay", "-0.1"],
+        ["--recovery", "reboot"],
+    ])
+    def test_chaos_out_of_range_values_rejected(self, extra):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(VALID_ARGS["chaos"] + extra)
+
 
 class TestCommands:
     def test_plan(self, capsys):
@@ -246,6 +272,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "static partition" in out
         assert "harvested" not in out
+
+    def test_chaos(self, capsys):
+        rc = main(["chaos", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "300", "--duration", "2",
+                   "--spike-factor", "2", "--spike-duration", "0.5",
+                   "--devices", "8", "--initial-serving", "2",
+                   "--resize-delay", "0.25", "--seed", "1",
+                   "--crash-rate", "1.0", "--mttr", "1.0",
+                   "--chaos-seed", "9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "random plan (seed 9" in out        # the plan is printed
+        assert "chaos crashes / revives" in out    # the report gained rows
+        assert "chaos crash" in out                # the timeline names events
+        assert "+ chaos" in out                    # mode line is tagged
 
     def test_serve_trace_out_writes_timeline(self, capsys, tmp_path):
         path = str(tmp_path / "serve.jsonl")
