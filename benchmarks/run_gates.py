@@ -61,6 +61,7 @@ GATES: Tuple[Gate, ...] = (
     Gate("arena_fusion", "bench_arena_fusion.py"),
     Gate("chaos_goodput", "bench_chaos_goodput.py", wall_clock=False),
     Gate("cosched_harvest", "bench_cosched_harvest.py", wall_clock=False),
+    Gate("domain_blast", "bench_domain_blast.py", wall_clock=False),
     Gate("fig17_microbench", "bench_fig17_microbench.py", smoke=False),
     Gate("fused_coverage", "bench_fused_coverage.py"),
     Gate("runtime_throughput", "bench_runtime_throughput.py"),

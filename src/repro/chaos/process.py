@@ -19,9 +19,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.chaos.plan import (CRASH, NETWORK_END, NETWORK_START, REVIVE,
-                              STRAGGLER_END, STRAGGLER_START, ChaosEvent,
-                              FaultPlan)
+from repro.chaos.plan import (CRASH, DERATE, NETWORK_END, NETWORK_START,
+                              REVIVE, STRAGGLER_END, STRAGGLER_START,
+                              ChaosEvent, FaultPlan)
 from repro.hardware.perfmodel import ClusterConditions
 from repro.runtime.pool import DevicePool
 
@@ -73,11 +73,18 @@ class ChaosController:
         elif kind == NETWORK_END:
             self.conditions.network_factor = 1.0
             self._conditions_changed(now)
+        elif kind == DERATE:
+            self.conditions.set_derate(event.device_id, event.factor)
+            self._conditions_changed(now)
+            # Unlike transient straggler jitter, a derate is a sustained
+            # capacity change the co-scheduler's budget should track.
+            if self.cosched is not None:
+                self.cosched.on_capacity_changed(now)
         self.fired.append((now, kind, event.device_id, event.factor, owner))
         data: Dict[str, object] = {"chaos": kind}
         if event.device_id >= 0:
             data["device"] = event.device_id
-        if kind in (STRAGGLER_START, NETWORK_START):
+        if kind in (STRAGGLER_START, NETWORK_START, DERATE):
             data["factor"] = event.factor
         if owner:
             data["owner"] = owner
@@ -110,6 +117,9 @@ class ChaosController:
             "network_windows": sum(
                 1 for e in self.fired if e[1] == NETWORK_START),
         }
+        derate_events = sum(1 for e in self.fired if e[1] == DERATE)
+        if derate_events:  # keep pre-derate digests byte-identical
+            out["derate_events"] = derate_events
         if self.router is not None:
             failures = list(getattr(self.router.report, "failures", ()))
             out["serving_failures"] = [list(f) for f in failures]

@@ -170,6 +170,17 @@ def _add_cosched_flags(p: argparse.ArgumentParser) -> None:
                    help="training-side §4.1 resize stall, seconds")
     p.add_argument("--requests", type=_positive_int, default=None,
                    help="cap on admitted requests")
+    p.add_argument("--shed-queue-depth", type=_positive_int, default=None,
+                   metavar="N",
+                   help="shed arrivals once N admitted requests are queued "
+                        "(load-shedding admission control)")
+    p.add_argument("--shed-wait", type=_positive_float, default=None,
+                   metavar="MS",
+                   help="shed arrivals whose estimated wait exceeds MS "
+                        "milliseconds")
+    p.add_argument("--brownout", action="store_true",
+                   help="halve max-batch/max-wait while serving capacity "
+                        "is derated")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--backend", choices=backend_names(), default="reference")
     p.add_argument("--trace-out", default=None, metavar="PATH",
@@ -291,6 +302,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="collective-time multiplier while degraded (> 1)")
     chaos.add_argument("--network-duration", type=_positive_float, default=1.5,
                        help="mean network-degradation window, seconds")
+    chaos.add_argument("--topology", default=None, metavar="SPEC",
+                       help="failure-domain tree over the pool, e.g. "
+                            "racks=4x8 or racks=4x8,switches=2 (device "
+                            "count must equal --devices)")
+    chaos.add_argument("--correlated", action="store_true",
+                       help="correlated chaos over --topology: straggler "
+                            "windows open rack-wide and domain wipes are "
+                            "drawn (at --wipe-rate, default 0.15)")
+    chaos.add_argument("--wipe-rate", type=_nonnegative_float, default=None,
+                       help="domain-wipe onsets per simulated second "
+                            "(needs --topology; implied 0.15 by "
+                            "--correlated)")
+    chaos.add_argument("--wipe-level", choices=("rack", "switch"),
+                       default="rack",
+                       help="failure-domain level a wipe takes out at once")
+    chaos.add_argument("--derate-rate", type=_nonnegative_float, default=0.0,
+                       help="partial-degradation (ECC-throttle) onsets per "
+                            "simulated second")
+    chaos.add_argument("--derate-floor", type=_straggler_speed, default=0.55,
+                       help="derated speed in (0, 1) while throttled")
+    chaos.add_argument("--derate-duration", type=_positive_float, default=2.0,
+                       help="seconds a derate lasts before full recovery")
     chaos.add_argument("--chaos-seed", type=int, default=None,
                        help="fault-plan seed (default: --seed)")
     chaos.add_argument("--recovery", choices=("migrate", "checkpoint"),
@@ -449,8 +482,21 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _admission_from_args(args):
+    """The AdmissionPolicy the shared shed flags describe (None if unset)."""
+    if (args.shed_queue_depth is None and args.shed_wait is None
+            and not args.brownout):
+        return None
+    from repro.serving.batcher import AdmissionPolicy
+    return AdmissionPolicy(
+        max_queue_depth=args.shed_queue_depth,
+        max_estimated_wait=(None if args.shed_wait is None
+                            else args.shed_wait / 1e3),
+        brownout=args.brownout)
+
+
 def _cmd_cosched(args, fault_plan=None, recovery=None,
-                 retry_delay: float = 0.05) -> int:
+                 retry_delay: float = 0.05, topology=None) -> int:
     phases = spike_phases(args.arrival_rate, args.spike_factor,
                           base_duration=args.duration / 2,
                           spike_duration=args.spike_duration)
@@ -459,6 +505,7 @@ def _cmd_cosched(args, fault_plan=None, recovery=None,
         args.train_jobs, demand_gpus=args.train_demand,
         workload=args.train_workload)
     trace = _make_trace(args)
+    admission = _admission_from_args(args)
     try:
         report = run_cosched(
             args.workload, phases, train_specs,
@@ -469,7 +516,8 @@ def _cmd_cosched(args, fault_plan=None, recovery=None,
             train_floor=args.train_floor, resize_delay=args.resize_delay,
             backend=args.backend, seed=args.seed, limit=args.requests,
             trace=trace, queue_backend=args.queue_backend,
-            fault_plan=fault_plan, recovery=recovery, retry_delay=retry_delay)
+            fault_plan=fault_plan, recovery=recovery, retry_delay=retry_delay,
+            admission=admission, topology=topology)
     finally:
         if isinstance(trace, EventTrace):
             trace.close()
@@ -489,6 +537,12 @@ def _cmd_cosched(args, fault_plan=None, recovery=None,
                               f"{int(summary['serving_remaps'])}"],
         ["sim duration", format_duration(summary["duration_s"])],
     ]
+    if admission is not None:
+        rows.append(
+            ["requests shed (brownout batches)",
+             f"{int(summary['serving_shed_requests'])} "
+             f"({summary['serving_shed_rate']:.1%} of offered, "
+             f"{int(summary['serving_brownout_batches'])} brownout)"])
     if report.chaos is not None:
         rows.extend([
             ["chaos crashes / revives",
@@ -496,6 +550,8 @@ def _cmd_cosched(args, fault_plan=None, recovery=None,
             ["chaos windows (straggler / network)",
              f"{report.chaos['straggler_windows']} / "
              f"{report.chaos['network_windows']}"],
+            ["chaos derate events",
+             f"{report.chaos.get('derate_events', 0)}"],
             ["requests requeued after crashes",
              f"{report.chaos.get('requeued_requests', 0)}"],
             ["train recoveries (checkpoint restores)",
@@ -519,7 +575,7 @@ def _cmd_cosched(args, fault_plan=None, recovery=None,
     if report.chaos is not None:
         for when, kind, device, factor, owner in report.chaos["events"]:
             detail = f"device {device}" if device >= 0 else "fabric"
-            if kind in ("straggler_start", "network_start"):
+            if kind in ("straggler_start", "network_start", "derate"):
                 detail += f" x{factor:.2f}"
             if owner:
                 detail += f" (held by {owner})"
@@ -530,24 +586,51 @@ def _cmd_cosched(args, fault_plan=None, recovery=None,
 
 
 def _cmd_chaos(args) -> int:
-    from repro.chaos import random_plan
+    from repro.chaos import ECCThrottle, FailureDomainTopology, random_plan
     from repro.core import RecoveryPolicy
 
+    topology = None
+    if args.topology is not None:
+        try:
+            topology = FailureDomainTopology.from_spec(args.topology)
+            topology.validate_devices(range(args.devices), owner="--devices")
+        except ValueError as exc:
+            print(f"error: bad --topology: {exc}", file=sys.stderr)
+            return 2
+    if args.correlated and topology is None:
+        print("error: --correlated needs a --topology", file=sys.stderr)
+        return 2
+    if args.wipe_rate is not None and args.wipe_rate > 0 and topology is None:
+        print("error: --wipe-rate needs a --topology", file=sys.stderr)
+        return 2
+    wipe_rate = args.wipe_rate
+    if wipe_rate is None:
+        wipe_rate = 0.15 if args.correlated else 0.0
     phase_total = args.duration + args.spike_duration
-    plan = random_plan(
-        seed=args.seed if args.chaos_seed is None else args.chaos_seed,
-        duration=phase_total, devices=args.devices,
-        crash_rate=args.crash_rate, mttr=args.mttr,
-        straggler_rate=args.straggler_rate,
-        straggler_factor=args.straggler_factor,
-        straggler_duration=args.straggler_duration,
-        network_rate=args.network_rate, network_factor=args.network_factor,
-        network_duration=args.network_duration,
-        min_healthy=max(2, args.train_floor + 1))
+    try:
+        plan = random_plan(
+            seed=args.seed if args.chaos_seed is None else args.chaos_seed,
+            duration=phase_total, devices=args.devices,
+            crash_rate=args.crash_rate, mttr=args.mttr,
+            straggler_rate=args.straggler_rate,
+            straggler_factor=args.straggler_factor,
+            straggler_duration=args.straggler_duration,
+            network_rate=args.network_rate, network_factor=args.network_factor,
+            network_duration=args.network_duration,
+            min_healthy=max(2, args.train_floor + 1),
+            topology=topology, wipe_rate=wipe_rate,
+            wipe_level=args.wipe_level,
+            correlated_stragglers=args.correlated,
+            derate_rate=args.derate_rate,
+            derate_curve=ECCThrottle(speed=args.derate_floor,
+                                     duration_s=args.derate_duration))
+    except ValueError as exc:
+        print(f"error: infeasible fault plan: {exc}", file=sys.stderr)
+        return 2
     print(plan.describe())
     return _cmd_cosched(args, fault_plan=plan,
                         recovery=RecoveryPolicy(mode=args.recovery),
-                        retry_delay=args.retry_delay)
+                        retry_delay=args.retry_delay, topology=topology)
 
 
 def _cmd_plan(args) -> int:

@@ -213,7 +213,7 @@ class TrainingClusterProcess:
                 if bd is None:
                     bd = job.spec.step_breakdown(job.gpus, self.perf)
                     self._breakdowns[key] = bd
-                return 1.0 / bd.degraded(speed, network)
+                return 1.0 / bd.degraded_total(conditions, ids)
         return rate
 
     # -- the event wake ------------------------------------------------------

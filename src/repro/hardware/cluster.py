@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
+                    Sequence)
 
 from repro.hardware.device import Device, DeviceSpec, get_spec
 from repro.hardware.interconnect import Interconnect
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.topology import FailureDomainTopology
 
 __all__ = ["Cluster"]
 
@@ -20,24 +24,31 @@ class Cluster:
     """
 
     def __init__(self, devices: Sequence[Device],
-                 interconnect: Optional[Interconnect] = None) -> None:
+                 interconnect: Optional[Interconnect] = None,
+                 topology: Optional["FailureDomainTopology"] = None) -> None:
         if not devices:
             raise ValueError("a cluster needs at least one device")
         ids = [d.device_id for d in devices]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate device ids in cluster")
+        if topology is not None:
+            topology.validate_devices(ids, owner="cluster")
         self.devices: List[Device] = list(devices)
         self.interconnect = interconnect or Interconnect()
+        self.topology = topology
 
     # -- constructors ---------------------------------------------------------
 
     @classmethod
     def homogeneous(cls, type_name: str, count: int,
-                    interconnect: Optional[Interconnect] = None) -> "Cluster":
+                    interconnect: Optional[Interconnect] = None,
+                    topology: Optional["FailureDomainTopology"] = None,
+                    ) -> "Cluster":
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
         spec = get_spec(type_name)
-        return cls([Device(spec, i) for i in range(count)], interconnect)
+        return cls([Device(spec, i) for i in range(count)], interconnect,
+                   topology=topology)
 
     @classmethod
     def from_counts(cls, counts: Mapping[str, int],

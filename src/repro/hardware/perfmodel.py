@@ -71,6 +71,16 @@ class StepTimeBreakdown:
             raise ValueError(f"network factor must be positive, got {network}")
         return (self.compute + self.update) / speed + self.comm * network
 
+    def degraded_total(self, conditions: "ClusterConditions",
+                       device_ids: Iterable[int]) -> float:
+        """Step time under the current cluster conditions for a synchronous
+        group: the bottleneck combines straggler and derate speeds (their
+        product per device), the comm term pays the network factor.  On a
+        clean cluster this is exactly :attr:`total`, bit for bit.
+        """
+        return self.degraded(conditions.bottleneck_speed(device_ids),
+                             conditions.network_factor)
+
 
 class ClusterConditions:
     """Mutable degradation state shared between chaos injection and pricing.
@@ -85,6 +95,7 @@ class ClusterConditions:
 
     def __init__(self) -> None:
         self._speed: Dict[int, float] = {}
+        self._derate: Dict[int, float] = {}
         self._network = 1.0
 
     @property
@@ -99,8 +110,9 @@ class ClusterConditions:
 
     @property
     def degraded(self) -> bool:
-        """True when any straggler or network window is currently active."""
-        return bool(self._speed) or self._network != 1.0
+        """True when any straggler, derate, or network window is active."""
+        return (bool(self._speed) or bool(self._derate)
+                or self._network != 1.0)
 
     @property
     def straggler_ids(self) -> Sequence[int]:
@@ -119,14 +131,51 @@ class ClusterConditions:
     def clear_straggler(self, device_id: int) -> None:
         self._speed.pop(device_id, None)
 
+    @property
+    def derated_ids(self) -> Sequence[int]:
+        return sorted(self._derate)
+
+    def set_derate(self, device_id: int, speed: float) -> None:
+        """Set ``device_id``'s sustained derate speed (0 < speed <= 1).
+
+        Exactly 1.0 clears the derate — the level-set semantics derate
+        curves rely on to be self-clearing.  Derates compose with straggler
+        windows multiplicatively: a 0.7x-derated device inside a 0.6x
+        straggler window runs at 0.42x.
+        """
+        if not 0.0 < speed <= 1.0:
+            raise ValueError(f"derate speed must be in (0, 1], got {speed}")
+        if speed == 1.0:
+            self._derate.pop(device_id, None)
+        else:
+            self._derate[device_id] = float(speed)
+
+    def clear_derate(self, device_id: int) -> None:
+        self._derate.pop(device_id, None)
+
+    def derate_speed(self, device_id: int) -> float:
+        return self._derate.get(device_id, 1.0)
+
     def device_speed(self, device_id: int) -> float:
-        return self._speed.get(device_id, 1.0)
+        """Combined speed: straggler x derate (each defaults to 1.0)."""
+        return (self._speed.get(device_id, 1.0)
+                * self._derate.get(device_id, 1.0))
 
     def bottleneck_speed(self, device_ids: Iterable[int]) -> float:
         """Speed of the slowest device in a synchronous group (1.0 if clean)."""
-        if not self._speed:
+        if not self._speed and not self._derate:
             return 1.0
-        return min((self._speed.get(d, 1.0) for d in device_ids), default=1.0)
+        return min((self.device_speed(d) for d in device_ids), default=1.0)
+
+    def effective_capacity(self, device_ids: Iterable[int]) -> float:
+        """Sum of derate-only speeds over a group — the sustained fraction of
+        nominal capacity the co-scheduler should budget against.  Transient
+        straggler jitter is deliberately excluded: it self-clears too fast
+        to be worth re-partitioning the pool over.  With no derates this is
+        an exact integer count (a sum of 1.0s), so budget arbitration on a
+        clean cluster is bit-identical to counting healthy devices.
+        """
+        return sum(self._derate.get(d, 1.0) for d in device_ids)
 
     def serving_latency(self, latency: float, device_ids: Iterable[int]) -> float:
         """Micro-batch service latency through the group's bottleneck device."""

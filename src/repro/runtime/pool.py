@@ -31,7 +31,11 @@ held to the same accounting standard as rescales.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.topology import FailureDomainTopology
 
 __all__ = ["DeviceLease", "DevicePool", "LeaseError"]
 
@@ -91,7 +95,8 @@ class DevicePool:
     non-decreasing per lease.
     """
 
-    def __init__(self, devices: Union[int, Iterable[int]]) -> None:
+    def __init__(self, devices: Union[int, Iterable[int]],
+                 topology: Optional["FailureDomainTopology"] = None) -> None:
         if isinstance(devices, int):
             if devices < 1:
                 raise ValueError(f"need at least one device, got {devices}")
@@ -102,6 +107,9 @@ class DevicePool:
             raise ValueError(f"duplicate device ids: {ids}")
         if not ids:
             raise ValueError("need at least one device")
+        if topology is not None:
+            topology.validate_devices(ids, owner="pool")
+        self.topology = topology
         self._all: Tuple[int, ...] = tuple(ids)
         self._free: List[int] = list(ids)  # kept sorted ascending
         self._failed: List[int] = []  # kept sorted ascending

@@ -28,7 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.chaos import ChaosController, ChaosProcess, FaultPlan
+from repro.chaos import (ChaosController, ChaosProcess,
+                         FailureDomainTopology, FaultPlan)
 from repro.core.fault_tolerance import RecoveryPolicy
 from repro.core.inference import InferenceEngine
 from repro.core.mapping import Mapping
@@ -49,7 +50,7 @@ from repro.runtime import (
     open_trace,
 )
 from repro.serving.autoscaler import LatencyAutoscaler
-from repro.serving.batcher import MicroBatchPolicy
+from repro.serving.batcher import AdmissionPolicy, MicroBatchPolicy
 from repro.serving.generators import OpenLoopPoissonSource, RequestSource
 from repro.serving.router import RequestRouter, ServingReport, ladder_capacity
 
@@ -81,7 +82,8 @@ class CoScheduler:
 
     def __init__(self, pool: DevicePool, training: TrainingClusterProcess,
                  serving_lease: DeviceLease,
-                 train_floor: int = 0, name: str = "cosched") -> None:
+                 train_floor: int = 0, name: str = "cosched",
+                 conditions: Optional[ClusterConditions] = None) -> None:
         if not 0 <= train_floor < pool.capacity:
             raise ValueError(
                 f"train_floor must be in [0, {pool.capacity}), got {train_floor}")
@@ -90,8 +92,26 @@ class CoScheduler:
         self.serving_lease = serving_lease
         self.train_floor = train_floor
         self.name = name
+        # When wired, derates scale the arbitrated capacity: four devices at
+        # 0.5x sustain two devices' worth of work, and the budget says so.
+        self.conditions = conditions
         # (time, training budget before, training budget after)
         self.harvests: List[Tuple[float, int, int]] = []
+
+    def _effective_healthy(self) -> int:
+        """Healthy capacity discounted by sustained derates (whole devices).
+
+        Without conditions (or with none derated) this is exactly
+        ``pool.healthy_capacity`` — ``effective_capacity`` sums 1.0s to an
+        exact integer — so clean and pre-derate runs arbitrate identically.
+        """
+        if self.conditions is None:
+            return self.pool.healthy_capacity
+        failed = set(self.pool.failed_ids)
+        healthy_ids = [d for d in self.pool.device_ids if d not in failed]
+        # floor(): budget is whole devices; the epsilon forgives float dust
+        # from derate sums like 0.7 + 0.3.
+        return int(self.conditions.effective_capacity(healthy_ids) + 1e-9)
 
     def _set_budget(self, now: float, after: int) -> None:
         before = self.training.gpu_budget
@@ -124,10 +144,13 @@ class CoScheduler:
         budget (the serving lease has already shed the dead device by the
         time the chaos controller calls this), and a revive hands the
         returning device to training unless the router re-grows first.
+        Sustained derates discount the arbitrated capacity (see
+        :meth:`_effective_healthy`), so an ECC-throttled fleet stops
+        promising training devices-worth of throughput it cannot deliver.
         """
         self._set_budget(
             now,
-            max(0, self.pool.healthy_capacity - self.serving_lease.size))
+            max(0, self._effective_healthy() - self.serving_lease.size))
 
 
 @dataclass
@@ -176,6 +199,8 @@ class CoschedReport:
                     self.chaos.get("straggler_windows", 0)),
                 "chaos_network_windows": float(
                     self.chaos.get("network_windows", 0)),
+                "chaos_derate_events": float(
+                    self.chaos.get("derate_events", 0)),
                 "chaos_requeued_requests": float(
                     self.chaos.get("requeued_requests", 0)),
                 "chaos_checkpoint_restores": float(
@@ -230,6 +255,8 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
                 fault_plan: Optional[FaultPlan] = None,
                 recovery: Optional[RecoveryPolicy] = None,
                 retry_delay: float = 0.05,
+                admission: Optional[AdmissionPolicy] = None,
+                topology: Optional["FailureDomainTopology"] = None,
                 ) -> CoschedReport:
     """Run elastic training jobs and a serving router on one shared pool.
 
@@ -247,6 +274,11 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
     devices after ``retry_delay``, and the co-scheduler re-arbitrates the
     healthy capacity after every crash/revive.  Without one, every chaos
     hook is a bit-exact no-op.
+
+    A ``topology`` declares the failure-domain tree on the pool and cluster
+    (the fault plan's correlated wipes must have been drawn against the
+    same tree); an ``admission`` policy arms the router's load-shedding /
+    brownout path so overload degrades the shed rate instead of the p99.
     """
     if pool_devices < 2:
         raise ValueError(
@@ -268,8 +300,9 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
             f"virtual_nodes ({num_vns}) must be >= pool_devices "
             f"({pool_devices}) so the full pool can be used")
 
-    dpool = DevicePool(pool_devices)
-    cluster = Cluster.homogeneous(device_type, pool_devices)
+    dpool = DevicePool(pool_devices, topology=topology)
+    cluster = Cluster.homogeneous(device_type, pool_devices,
+                                  topology=topology)
 
     # Serving tenant: engine on the initial lease, Poisson source, and the
     # same power-of-two allocation ladder serve_workload builds.
@@ -301,19 +334,19 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
     router = RequestRouter(
         inference, source,
         policy=MicroBatchPolicy(max_batch=max_batch, max_wait=max_wait),
-        pool=cluster, autoscaler=autoscaler)
+        pool=cluster, autoscaler=autoscaler, admission=admission)
 
     # Training tenant: everything the router does not hold.
     training = TrainingClusterProcess(
         train_specs, scheduler if scheduler is not None else ElasticWFSScheduler(),
         gpu_budget=pool_devices - initial_serving, pool=dpool,
         resize_delay=resize_delay)
+    conditions = ClusterConditions() if fault_plan is not None else None
     cosched = CoScheduler(dpool, training, serving_lease,
-                          train_floor=train_floor)
+                          train_floor=train_floor, conditions=conditions)
 
     controller: Optional[ChaosController] = None
     if fault_plan is not None:
-        conditions = ClusterConditions()
         controller = ChaosController(dpool, conditions, training=training,
                                      router=router, cosched=cosched)
         training.configure_chaos(conditions, recovery)

@@ -59,7 +59,7 @@ from repro.runtime import (
     open_trace,
 )
 from repro.serving.autoscaler import AllocationProfile, LatencyAutoscaler
-from repro.serving.batcher import MicroBatchPolicy
+from repro.serving.batcher import AdmissionPolicy, MicroBatchPolicy
 from repro.serving.generators import OpenLoopPoissonSource, RequestSource
 from repro.serving.request import BatchRecord, Request, RequestRecord
 from repro.telemetry import percentile
@@ -151,6 +151,11 @@ class ServingReport:
     logits: Dict[int, np.ndarray] = field(default_factory=dict)
     # Injected serving-device crashes: (time, device_id, requests requeued).
     failures: List[Tuple[float, int, int]] = field(default_factory=list)
+    # Load-shed arrivals: (arrival_time, request_id, reason) — "depth" or
+    # "wait".  Empty unless an AdmissionPolicy is armed and tripped.
+    shed: List[Tuple[float, int, str]] = field(default_factory=list)
+    # Batches dispatched under the halved brownout policy.
+    brownout_batches: int = 0
 
     def latencies(self) -> np.ndarray:
         return np.asarray([r.latency for r in self.records], dtype=float)
@@ -178,6 +183,11 @@ class ServingReport:
         """Time-averaged devices held — the cost side of the SLO frontier."""
         return self.device_seconds / self.duration if self.duration > 0 else 0.0
 
+    def shed_rate(self) -> float:
+        """Fraction of offered requests shed at the door."""
+        offered = len(self.records) + len(self.shed)
+        return len(self.shed) / offered if offered else 0.0
+
     def summary(self, slo_p99: Optional[float] = None) -> Dict[str, float]:
         """A flat JSON-able digest of the run (all-zero for an empty run)."""
         if not self.records:
@@ -188,6 +198,10 @@ class ServingReport:
                 "latency_max_ms": 0.0, "mean_queue_delay_ms": 0.0,
                 "mean_service_ms": 0.0, "avg_devices": self.avg_devices(),
                 "remaps": float(len(self.scaling_events)),
+                "offered": float(len(self.shed)),
+                "shed_requests": float(len(self.shed)),
+                "shed_rate": self.shed_rate(),
+                "brownout_batches": float(self.brownout_batches),
             }
             if slo_p99 is not None:
                 out["slo_p99_ms"] = slo_p99 * 1e3
@@ -208,6 +222,10 @@ class ServingReport:
             "mean_service_ms": float(np.mean([r.service_time for r in self.records])) * 1e3,
             "avg_devices": self.avg_devices(),
             "remaps": float(len(self.scaling_events)),
+            "offered": float(len(self.records) + len(self.shed)),
+            "shed_requests": float(len(self.shed)),
+            "shed_rate": self.shed_rate(),
+            "brownout_batches": float(self.brownout_batches),
         }
         if slo_p99 is not None:
             out["slo_p99_ms"] = slo_p99 * 1e3
@@ -234,6 +252,13 @@ class RequestRouter:
         set.  The engine's devices must be a subset of the pool.
     autoscaler:
         Optional :class:`LatencyAutoscaler`; when None the mapping is fixed.
+    admission:
+        Optional :class:`AdmissionPolicy`.  When armed, each *new* arrival
+        is tested at its arrival time against the queue-depth and
+        estimated-wait thresholds and shed (recorded in ``report.shed``,
+        never queued) if either trips; with ``brownout`` set the coalescing
+        policy halves while the lease's capacity is derated.  Requests
+        requeued after a crash were already admitted and bypass shedding.
     collect_logits:
         Keep every request's logits row in the report (tests and small runs;
         off by default to keep big sweeps lean).
@@ -250,7 +275,8 @@ class RequestRouter:
                  pool: Optional[Cluster] = None,
                  autoscaler: Optional[LatencyAutoscaler] = None,
                  collect_logits: bool = False,
-                 name: str = "router") -> None:
+                 name: str = "router",
+                 admission: Optional[AdmissionPolicy] = None) -> None:
         if autoscaler is not None and pool is None:
             raise ValueError("autoscaling needs a device pool to draw from")
         self.inference = inference
@@ -258,6 +284,7 @@ class RequestRouter:
         self.policy = policy
         self.pool = pool
         self.autoscaler = autoscaler
+        self.admission = admission
         self.collect_logits = collect_logits
         self.name = name
         self.report = ServingReport()
@@ -284,6 +311,10 @@ class RequestRouter:
         self._admit_event = None
         self._dispatch_event = None
         self._inflight: Optional[Tuple[object, List[Request], int, float]] = None
+        # Last observed batch service time — the deterministic basis for the
+        # admission controller's wait estimate (0.0 until a batch completes,
+        # so a cold router never wait-sheds).
+        self._service_estimate = 0.0
 
     # -- elasticity -----------------------------------------------------------
 
@@ -406,6 +437,7 @@ class RequestRouter:
         self._admit_event = None
         self._dispatch_event = None
         self._inflight = None
+        self._service_estimate = 0.0
         self._runtime = None  # force start() to rebind a fresh pool/lease
         with open_trace(trace) as writer:
             runtime = Runtime(trace=writer, queue_backend=queue_backend)
@@ -430,11 +462,74 @@ class RequestRouter:
             wake, lambda t, cutoff=nxt: self._on_admit(t, cutoff),
             kind="admit", actor=self.name)
 
+    # -- admission control ----------------------------------------------------
+
+    def _policy_now(self) -> MicroBatchPolicy:
+        """The coalescing policy in force: the configured one, or its
+        brownout half when the admission policy says so and the lease's
+        capacity is currently derated.  Without an admission policy this
+        is always the configured object — bit-identical behaviour."""
+        if (self.admission is None or not self.admission.brownout
+                or self._conditions is None or self._lease is None):
+            return self.policy
+        if self._conditions.bottleneck_speed(self._lease.device_ids) >= 1.0:
+            return self.policy
+        return MicroBatchPolicy(max_batch=max(1, self.policy.max_batch // 2),
+                                max_wait=self.policy.max_wait / 2)
+
+    def _should_shed(self, request: Request) -> Optional[str]:
+        """The threshold a new arrival trips, or None to admit it.
+
+        Evaluated entirely from state at the request's arrival: the queue
+        depth it would join, the server backlog at its arrival time, and
+        the last observed batch service time — all deterministic, so the
+        decision replays bit-identically under both queue backends.
+        """
+        policy = self.admission
+        if policy is None:
+            return None
+        if (policy.max_queue_depth is not None
+                and len(self._pending) >= policy.max_queue_depth):
+            return "depth"
+        if policy.max_estimated_wait is not None and self._service_estimate > 0:
+            backlog = max(0.0, self._server_free - request.arrival_time)
+            batches_ahead = (
+                len(self._pending) // self._policy_now().max_batch + 1)
+            estimate = backlog + batches_ahead * self._service_estimate
+            if estimate > policy.max_estimated_wait:
+                return "wait"
+        return None
+
+    def _enqueue(self, requests: Sequence[Request]) -> int:
+        """Queue new arrivals through the admission controller; returns how
+        many were shed.  Crash-requeued requests never pass through here —
+        they go back on the queue front directly (already admitted)."""
+        if self.admission is None:
+            self._pending.extend(requests)
+            return 0
+        shed = 0
+        for r in requests:
+            reason = self._should_shed(r)
+            if reason is None:
+                self._pending.append(r)
+            else:
+                self.report.shed.append((r.arrival_time, r.request_id, reason))
+                shed += 1
+        return shed
+
     def _on_admit(self, t: float, cutoff: float) -> Dict[str, object]:
         self._admit_event = None
-        self._pending.extend(self.source.take_arrivals(cutoff))
-        self._plan()
-        return {"pending": len(self._pending)}
+        shed = self._enqueue(self.source.take_arrivals(cutoff))
+        if self._pending:
+            self._plan()
+        elif not self._halted:
+            # Everything this wake pulled was shed: skip straight to the
+            # next arrival instead of planning over an empty queue.
+            self._schedule_next()
+        out: Dict[str, object] = {"pending": len(self._pending)}
+        if shed:
+            out["shed"] = shed
+        return out
 
     def _plan(self) -> None:
         """Fix this batch's launch time and post the dispatch event.
@@ -447,13 +542,14 @@ class RequestRouter:
         """
         if self._halted:
             return
-        deadline = self.policy.deadline(self._pending[0].arrival_time)
+        policy = self._policy_now()
+        deadline = policy.deadline(self._pending[0].arrival_time)
         horizon = max(deadline, self._server_free)
         self._admit(horizon)
         # The clamp to the clock matters only after a crash reset
         # _server_free: every normal plan already launches at or after now.
         launch = max(
-            self.policy.trigger_time([r.arrival_time for r in self._pending]),
+            policy.trigger_time([r.arrival_time for r in self._pending]),
             self._server_free, self._runtime.now)
         self._admit(launch)
         self._dispatch_event = self._runtime.at(
@@ -462,8 +558,11 @@ class RequestRouter:
     def _dispatch(self, launch: float) -> Dict[str, object]:
         """Coalesce the batch, run it, and post its completion event."""
         self._dispatch_event = None
+        policy = self._policy_now()
+        if policy is not self.policy:
+            self.report.brownout_batches += 1
         batch: List[Request] = []
-        while (self._pending and len(batch) < self.policy.max_batch
+        while (self._pending and len(batch) < policy.max_batch
                and self._pending[0].arrival_time <= launch):
             batch.append(self._pending.popleft())
 
@@ -511,6 +610,7 @@ class RequestRouter:
             for i, r in enumerate(batch):
                 report.logits[r.request_id] = result.logits[i]
         self._server_free = completion
+        self._service_estimate = completion - launch
         self.source.on_completion(records)
 
         data: Dict[str, object] = {"batch_id": batch_id, "size": len(batch)}
@@ -647,15 +747,16 @@ class RequestRouter:
 
     def _admit(self, until: float) -> None:
         """Move every arrival at or before ``until`` into the queue."""
+        max_batch = self._policy_now().max_batch
         while True:
             nxt = self.source.next_arrival_time()
             if nxt is None or nxt > until:
                 return
-            if len(self._pending) >= self.policy.max_batch:
+            if len(self._pending) >= max_batch:
                 # The decision this pull serves is already settled; later
                 # arrivals queue behind it on their own event.
                 return
-            self._pending.extend(self.source.take_arrivals(nxt))
+            self._enqueue(self.source.take_arrivals(nxt))
 
 
 def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
@@ -671,6 +772,7 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
                    collect_logits: bool = False,
                    trace: Optional[Union[str, EventTrace]] = None,
                    queue_backend: Optional[str] = None,
+                   admission: Optional[AdmissionPolicy] = None,
                    ) -> ServingReport:
     """Build and run a complete serving session for a registered workload.
 
@@ -721,5 +823,6 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
     router = RequestRouter(
         inference, source,
         policy=MicroBatchPolicy(max_batch=max_batch, max_wait=max_wait),
-        pool=pool, autoscaler=autoscaler, collect_logits=collect_logits)
+        pool=pool, autoscaler=autoscaler, collect_logits=collect_logits,
+        admission=admission)
     return router.run(trace=trace, queue_backend=queue_backend)

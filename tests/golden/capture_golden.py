@@ -37,6 +37,8 @@ from repro.elastic import (  # noqa: E402
 )
 from repro.chaos import (  # noqa: E402
     CRASH,
+    ECCThrottle,
+    FailureDomainTopology,
     NETWORK_END,
     NETWORK_START,
     REVIVE,
@@ -44,9 +46,11 @@ from repro.chaos import (  # noqa: E402
     STRAGGLER_START,
     ChaosEvent,
     FaultPlan,
+    domain_wipe_events,
 )
 from repro.sched import resident_training_jobs, run_cosched  # noqa: E402
 from repro.serving import serve_workload  # noqa: E402
+from repro.serving.batcher import AdmissionPolicy  # noqa: E402
 
 
 def sim_to_dict(result) -> dict:
@@ -77,7 +81,7 @@ def sim_to_dict(result) -> dict:
 
 def serving_to_dict(report) -> dict:
     """Every observable field of a ServingReport (logits excluded)."""
-    return {
+    out = {
         "duration": report.duration,
         "device_seconds": report.device_seconds,
         "final_devices": report.final_devices,
@@ -107,6 +111,14 @@ def serving_to_dict(report) -> dict:
         ],
         "scaling_events": [list(e) for e in report.scaling_events],
     }
+    # Admission-control fields are opt-in: the keys appear only when the
+    # scenario actually shed or browned out, so the pre-admission fixtures
+    # stay byte-identical without regeneration.
+    if report.shed:
+        out["shed"] = [list(s) for s in report.shed]
+    if report.brownout_batches:
+        out["brownout_batches"] = report.brownout_batches
+    return out
 
 
 def cosched_to_dict(report) -> dict:
@@ -160,6 +172,36 @@ def chaos_crash_recover() -> dict:
         resize_delay=0.25, seed=2, fault_plan=plan))
 
 
+def chaos_domain_wipe_recover() -> dict:
+    """A correlated rack wipe with load shedding and a revive derate.
+
+    PR 8's failure-domain scenario: a 6-device pool laid out as 3 racks of
+    2, serving statically on devices {0, 1}.  Rack 0 — the whole serving
+    deployment — is wiped atomically (both crashes at the same timestamp)
+    and revived together, so arrivals park during the outage and the
+    backlog drains through the shedding admission controller on revive;
+    device 0 then runs an ECC derate curve, exercising the DERATE event
+    kind, the derate-aware co-scheduler budget, and the brownout admission
+    path on the serving lease itself.  Golden under both queue backends:
+    the whole wipe/shed/derate/recover timeline must replay bit-identical.
+    """
+    topology = FailureDomainTopology.regular(3, 2)
+    events = domain_wipe_events(topology, "rack", 0, 0.5, 1.3)
+    events.extend(ECCThrottle(speed=0.7, duration_s=0.6).events(0, 1.4))
+    plan = FaultPlan.from_events(
+        events, description="golden domain wipe/recover scenario",
+        topology=topology, min_healthy=2)
+    specs = resident_training_jobs(2, demand_gpus=2)
+    admission = AdmissionPolicy(max_queue_depth=24, max_estimated_wait=0.02,
+                                brownout=True)
+    return cosched_to_dict(run_cosched(
+        "mlp_synthetic", [ServingPhase(2.5, 450.0)], specs,
+        pool_devices=6, max_batch=8, max_wait=0.002,
+        initial_serving=2, autoscale=False,
+        resize_delay=0.25, seed=3, fault_plan=plan,
+        admission=admission, topology=topology))
+
+
 # The fixture matrix.  Simulation fixtures cover both schedulers on the
 # canonical §6.4.1 trace plus a 20-job Poisson trace (hundreds of events,
 # resizes, queueing); serving fixtures cover a fixed mapping and a spiky
@@ -184,6 +226,7 @@ def capture() -> dict:
         max_batch=16, max_wait=0.002, pool_devices=8,
         autoscale=True, slo_p99=0.030, initial_devices=2, seed=1))
     fixtures["cosched_chaos_crash_recover"] = chaos_crash_recover()
+    fixtures["cosched_domain_wipe_recover"] = chaos_domain_wipe_recover()
     return fixtures
 
 

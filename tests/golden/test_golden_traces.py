@@ -27,6 +27,7 @@ FIXTURES = (
     "serve_fixed",
     "serve_autoscaled",
     "cosched_chaos_crash_recover",
+    "cosched_domain_wipe_recover",
 )
 
 

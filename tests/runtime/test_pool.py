@@ -211,3 +211,40 @@ class TestFailRevive:
             3 * 2.0        # 3 devices [0, 2]
             + 2 * 4.0      # 2 devices [2, 6]
             + 3 * 4.0)     # 3 devices [6, 10]
+
+    def test_conservation_under_simultaneous_domain_wipe(self):
+        # A correlated domain wipe fails several devices at the *same*
+        # timestamp — some leased, some free — then revives them together.
+        # The three-way split must still conserve exactly:
+        # busy + idle + failed == capacity * elapsed.
+        pool = DevicePool(6)
+        lease_a = pool.acquire("serve", 2, 0.0)    # (0, 1)
+        lease_b = pool.acquire("train", 3, 0.0)    # (2, 3, 4); 5 stays free
+        for device_id in (1, 2, 5):                # rack spanning both leases
+            pool.fail_device(device_id, 3.0)       # + a free device, at once
+        for device_id in (1, 2, 5):
+            pool.revive_device(device_id, 7.0)     # atomic repair
+        pool.settle(12.0)
+        audit = pool.audit(12.0)
+        total = (audit["busy_device_seconds"] + audit["idle_device_seconds"]
+                 + audit["failed_device_seconds"])
+        assert total == pytest.approx(6 * 12.0)
+        # Three devices dark over [3, 7], regardless of prior ownership.
+        assert audit["failed_device_seconds"] == pytest.approx(3 * 4.0)
+        # Each lease billed only its surviving devices during the outage.
+        assert lease_a.device_seconds == pytest.approx(2 * 3.0 + 1 * 9.0)
+        assert lease_b.device_seconds == pytest.approx(3 * 3.0 + 2 * 9.0)
+
+
+class TestPoolTopology:
+    def test_topology_must_cover_every_device(self):
+        from repro.chaos import FailureDomainTopology
+
+        topo = FailureDomainTopology.regular(2, 2)     # devices 0..3
+        pool = DevicePool(4, topology=topo)
+        assert pool.topology is topo
+        with pytest.raises(ValueError, match="pool"):
+            DevicePool(6, topology=topo)               # 4 and 5 uncovered
+
+    def test_topology_optional(self):
+        assert DevicePool(4).topology is None

@@ -213,6 +213,44 @@ class TestSubcommandParsing:
         with pytest.raises(SystemExit):
             build_parser().parse_args(VALID_ARGS["chaos"] + extra)
 
+    def test_chaos_topology_flags_parse(self):
+        args = build_parser().parse_args(VALID_ARGS["chaos"] + [
+            "--topology", "racks=4x2,switches=2", "--correlated",
+            "--wipe-level", "switch", "--derate-rate", "0.2",
+            "--derate-floor", "0.6", "--derate-duration", "1.5"])
+        assert args.topology == "racks=4x2,switches=2"
+        assert args.correlated and args.wipe_level == "switch"
+        assert args.wipe_rate is None       # implied 0.15 by --correlated
+        assert args.derate_rate == 0.2
+
+    @pytest.mark.parametrize("extra", [
+        ["--wipe-rate", "-0.1"],
+        ["--wipe-level", "pod"],
+        ["--derate-rate", "-1"],
+        ["--derate-floor", "0"],
+        ["--derate-floor", "1.5"],
+        ["--derate-duration", "0"],
+    ])
+    def test_chaos_topology_out_of_range_rejected(self, extra):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(VALID_ARGS["chaos"] + extra)
+
+    @pytest.mark.parametrize("command", ["cosched", "chaos"])
+    def test_admission_flags_parse(self, command):
+        args = build_parser().parse_args(VALID_ARGS[command] + [
+            "--shed-queue-depth", "32", "--shed-wait", "25", "--brownout"])
+        assert args.shed_queue_depth == 32
+        assert args.shed_wait == 25.0       # milliseconds on the CLI
+        assert args.brownout
+
+    @pytest.mark.parametrize("extra", [
+        ["--shed-queue-depth", "0"],
+        ["--shed-wait", "0"],
+    ])
+    def test_admission_out_of_range_rejected(self, extra):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(VALID_ARGS["cosched"] + extra)
+
 
 class TestCommands:
     def test_plan(self, capsys):
@@ -287,6 +325,37 @@ class TestCommands:
         assert "chaos crashes / revives" in out    # the report gained rows
         assert "chaos crash" in out                # the timeline names events
         assert "+ chaos" in out                    # mode line is tagged
+
+    def test_chaos_correlated_topology(self, capsys):
+        rc = main(["chaos", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "300", "--duration", "2",
+                   "--devices", "8", "--initial-serving", "2",
+                   "--resize-delay", "0.25", "--seed", "1",
+                   "--crash-rate", "0.2", "--mttr", "0.8",
+                   "--topology", "racks=4x2", "--correlated",
+                   "--derate-rate", "0.5", "--chaos-seed", "3",
+                   "--shed-queue-depth", "32", "--shed-wait", "25",
+                   "--brownout"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 rack(s) x 2" in out              # topology in the plan
+        assert "x speed" in out                    # a derate step is drawn
+        assert "restored" in out                   # ... and self-clears
+        assert "chaos derate events" in out        # the report gained a row
+        assert "requests shed" in out              # admission row appears
+
+    def test_chaos_correlated_needs_topology(self, capsys):
+        rc = main(["chaos", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "100", "--correlated"])
+        assert rc == 2
+        assert "--topology" in capsys.readouterr().err
+
+    def test_chaos_topology_must_cover_devices(self, capsys):
+        rc = main(["chaos", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "100", "--devices", "8",
+                   "--topology", "racks=2x2"])
+        assert rc == 2
+        assert "devices" in capsys.readouterr().err
 
     def test_serve_trace_out_writes_timeline(self, capsys, tmp_path):
         path = str(tmp_path / "serve.jsonl")
