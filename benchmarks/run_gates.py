@@ -66,6 +66,7 @@ GATES: Tuple[Gate, ...] = (
     Gate("fused_coverage", "bench_fused_coverage.py"),
     Gate("runtime_throughput", "bench_runtime_throughput.py"),
     Gate("serving_slo", "bench_serving_slo.py", wall_clock=False),
+    Gate("tenant_fairness", "bench_tenant_fairness.py", wall_clock=False),
 )
 
 
@@ -115,10 +116,38 @@ def run_gates(names: Sequence[str]) -> int:
             print(f"{gate.name}: wall-clock gate failed once; retrying "
                   f"(shared-runner noise tolerance)", flush=True)
             rc = _run([sys.executable, "-m", "pytest", "-x", "-q", gate.script])
+            if rc != 0:
+                # Distinct from the first-failure line: a second failure is
+                # past the noise tolerance, i.e. a real regression.
+                print(f"{gate.name}: failed after retry — treating as a "
+                      f"real regression, not runner noise", file=sys.stderr)
         if rc != 0:
             print(f"GATE FAILED: {gate.name}", file=sys.stderr)
             failures += 1
     return failures
+
+
+def check_registry() -> int:
+    """Every benchmark that emits a ``BENCH_*.json`` must be a registered
+    gate.  A perf record nobody runs in CI silently goes stale; this check
+    turns the omission into a CI failure with a one-line fix."""
+    registered = {g.script for g in GATES}
+    missing = []
+    for fname in sorted(os.listdir(HERE)):
+        if not (fname.startswith("bench_") and fname.endswith(".py")):
+            continue
+        with open(os.path.join(HERE, fname)) as fh:
+            emits = "save_bench_json(" in fh.read()
+        if emits and fname not in registered:
+            missing.append(fname)
+    if missing:
+        for fname in missing:
+            print(f"UNREGISTERED: {fname} emits a BENCH_*.json but is not "
+                  f"in run_gates.GATES", file=sys.stderr)
+        return len(missing)
+    print(f"registry check: every BENCH_*.json emitter is registered "
+          f"({len(registered)} gates)")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -130,6 +159,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       help="run every smoke (tiny configs, no perf gates)")
     mode.add_argument("--gate", action="store_true",
                       help="run every perf/correctness gate via pytest")
+    mode.add_argument("--check-registry", action="store_true",
+                      help="fail if any BENCH_*.json emitter is missing "
+                           "from the gate registry")
     parser.add_argument("names", nargs="*",
                         help="restrict to these registered benchmarks")
     args = parser.parse_args(argv)
@@ -142,6 +174,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{gate.name:18s} {gate.script:28s} "
                   f"[{', '.join(kinds)}; {noise}]")
         return 0
+    if args.check_registry:
+        return 1 if check_registry() else 0
     failures = run_smoke(args.names) if args.smoke else run_gates(args.names)
     if failures:
         print(f"{failures} benchmark step(s) failed", file=sys.stderr)

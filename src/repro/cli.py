@@ -15,6 +15,9 @@ Commands mirror the library's main entry points:
 * ``chaos``    — the same co-scheduled run under a seeded fault plan:
   device crashes with recovery (migrate or checkpoint-restore), straggler
   windows, and network-degradation windows injected as runtime events;
+* ``audit``    — replay a multi-tenant request journal (written by
+  ``serve``/``cosched``/``chaos`` ``--journal``) into per-tenant SLO
+  attainment, offline, from the journal alone;
 * ``plan``     — show the execution plan (waves, memory, predicted step
   time) for a configuration without training;
 * ``profile``  — run the offline profiler for a workload across device
@@ -132,6 +135,62 @@ def _make_trace(args):
     return args.trace_out
 
 
+def _add_tenancy_flags(p: argparse.ArgumentParser) -> None:
+    """The multi-tenant gateway surface (``serve``, ``cosched``, ``chaos``)."""
+    p.add_argument("--tenants", default=None, metavar="SPEC",
+                   help="serve through the multi-tenant gateway: "
+                        "';'-separated name[:key=value,...] entries with "
+                        "keys class/weight/quota/burst/p99/share, e.g. "
+                        "'prem:class=premium,weight=4,quota=300;"
+                        "batch:weight=1'")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="append the durable per-request JSONL journal here "
+                        "(needs --tenants; replay with 'repro audit')")
+    p.add_argument("--dispatcher", choices=("wfq", "fifo"), default="wfq",
+                   help="tenant dispatch policy (wfq = weighted fair "
+                        "queueing; fifo = strict arrival order, the "
+                        "fairness baseline)")
+
+
+def _tenancy_from_args(args):
+    """(registry, journal, dispatcher) from the shared tenancy flags.
+
+    Usage errors (journal or a non-default dispatcher without a registry,
+    or a malformed spec) print to stderr and exit 2, like argparse's own.
+    """
+    if args.tenants is None:
+        if args.journal is not None:
+            print("error: --journal needs --tenants", file=sys.stderr)
+            raise SystemExit(2)
+        if args.dispatcher != "wfq":
+            print("error: --dispatcher needs --tenants", file=sys.stderr)
+            raise SystemExit(2)
+        return None, None, "wfq"
+    from repro.serving.tenancy import TenantRegistry
+    try:
+        registry = TenantRegistry.from_spec(args.tenants)
+    except ValueError as exc:
+        print(f"error: bad --tenants: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return registry, args.journal, args.dispatcher
+
+
+def _print_tenant_table(report) -> None:
+    """The per-tenant SLO attainment table of a gateway run."""
+    if not report.tenants:
+        return
+    rows = [
+        [tenant, f"{d['weight']:g}", f"{int(d['requests'])}",
+         f"{int(d['shed'])}", f"{d['latency_p99_ms']:.2f}",
+         f"{d['slo_p99_ms']:.0f}", f"{d['slo_attainment']:.1%}"]
+        for tenant, d in report.tenants.items()
+    ]
+    print(format_table(
+        ["tenant", "weight", "served", "shed", "p99 (ms)", "SLO (ms)",
+         "attainment"],
+        rows, title="per-tenant SLO attainment"))
+
+
 def _add_cosched_flags(p: argparse.ArgumentParser) -> None:
     """The shared co-scheduling surface (``cosched`` and ``chaos``)."""
     p.add_argument("--workload", required=True, choices=sorted(WORKLOADS),
@@ -185,6 +244,7 @@ def _add_cosched_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", choices=backend_names(), default="reference")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write the runtime's JSONL event timeline here")
+    _add_tenancy_flags(p)
     _add_runtime_flags(p)
 
 
@@ -274,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", choices=backend_names(), default="reference")
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the runtime's JSONL event timeline here")
+    _add_tenancy_flags(serve)
     _add_runtime_flags(serve)
 
     cosched = sub.add_parser(
@@ -334,6 +395,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--retry-delay", type=_positive_float, default=0.05,
                        help="serving re-admission delay after a crash, "
                             "seconds")
+
+    audit = sub.add_parser(
+        "audit", help="replay a gateway request journal into per-tenant "
+                      "SLO attainment (offline, journal-only)")
+    audit.add_argument("--journal", required=True, metavar="PATH",
+                       help="JSONL journal written by serve/cosched/chaos "
+                            "--journal")
+    audit.add_argument("--json", action="store_true",
+                       help="print the raw audit payload as JSON")
 
     plan = sub.add_parser("plan", help="show the execution plan for a config")
     plan.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
@@ -435,6 +505,7 @@ def _cmd_serve(args) -> int:
         phases = [ServingPhase(args.duration, args.arrival_rate)]
     slo = args.slo_p99 / 1e3
     trace = _make_trace(args)
+    tenants, journal, dispatcher = _tenancy_from_args(args)
     try:
         report = serve_workload(
             args.workload, phases,
@@ -444,7 +515,8 @@ def _cmd_serve(args) -> int:
             initial_devices=args.initial_devices,
             autoscale=args.autoscale, slo_p99=slo if args.autoscale else None,
             backend=args.backend, seed=args.seed, limit=args.requests,
-            trace=trace, queue_backend=args.queue_backend)
+            trace=trace, queue_backend=args.queue_backend,
+            tenants=tenants, journal=journal, dispatcher=dispatcher)
     finally:
         if isinstance(trace, EventTrace):
             trace.close()
@@ -477,6 +549,9 @@ def _cmd_serve(args) -> int:
     for when, old, new, cost in report.scaling_events:
         print(f"  t={when:7.3f}s  remapped {old} -> {new} devices "
               f"(cost {cost*1e3:.1f} ms)")
+    _print_tenant_table(report)
+    if journal:
+        print(f"request journal written to {journal}")
     if args.trace_out:
         print(f"event timeline written to {args.trace_out}")
     return 0
@@ -506,6 +581,7 @@ def _cmd_cosched(args, fault_plan=None, recovery=None,
         workload=args.train_workload)
     trace = _make_trace(args)
     admission = _admission_from_args(args)
+    tenants, journal, dispatcher = _tenancy_from_args(args)
     try:
         report = run_cosched(
             args.workload, phases, train_specs,
@@ -517,7 +593,8 @@ def _cmd_cosched(args, fault_plan=None, recovery=None,
             backend=args.backend, seed=args.seed, limit=args.requests,
             trace=trace, queue_backend=args.queue_backend,
             fault_plan=fault_plan, recovery=recovery, retry_delay=retry_delay,
-            admission=admission, topology=topology)
+            admission=admission, topology=topology,
+            tenants=tenants, journal=journal, dispatcher=dispatcher)
     finally:
         if isinstance(trace, EventTrace):
             trace.close()
@@ -580,6 +657,9 @@ def _cmd_cosched(args, fault_plan=None, recovery=None,
             if owner:
                 detail += f" (held by {owner})"
             print(f"  t={when:7.3f}s  chaos {kind:<15s} {detail}")
+    _print_tenant_table(report.serving)
+    if journal:
+        print(f"request journal written to {journal}")
     if args.trace_out:
         print(f"event timeline written to {args.trace_out}")
     return 0
@@ -631,6 +711,37 @@ def _cmd_chaos(args) -> int:
     return _cmd_cosched(args, fault_plan=plan,
                         recovery=RecoveryPolicy(mode=args.recovery),
                         retry_delay=args.retry_delay, topology=topology)
+
+
+def _cmd_audit(args) -> int:
+    from repro.serving.gateway import audit_journal
+
+    try:
+        audit = audit_journal(args.journal)
+    except OSError as exc:
+        print(f"error: cannot read journal: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: malformed journal: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        print(json.dumps(audit, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [tenant, f"{d['weight']:g}", f"{int(d['requests'])}",
+         f"{int(d['shed'])}", f"{d['latency_p99_ms']:.2f}",
+         f"{d['slo_p99_ms']:.0f}", f"{d['slo_attainment']:.1%}"]
+        for tenant, d in audit["tenants"].items()
+    ]
+    print(format_table(
+        ["tenant", "weight", "served", "shed", "p99 (ms)", "SLO (ms)",
+         "attainment"],
+        rows,
+        title=f"journal audit: {audit['requests']} served, "
+              f"{audit['shed']} shed "
+              f"({audit['dispatcher'] or 'unknown'} dispatcher)"))
+    return 0
 
 
 def _cmd_plan(args) -> int:
@@ -725,6 +836,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "cosched": _cmd_cosched,
     "chaos": _cmd_chaos,
+    "audit": _cmd_audit,
     "plan": _cmd_plan,
     "profile": _cmd_profile,
     "solve": _cmd_solve,

@@ -257,6 +257,9 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
                 retry_delay: float = 0.05,
                 admission: Optional[AdmissionPolicy] = None,
                 topology: Optional["FailureDomainTopology"] = None,
+                tenants: Optional["TenantRegistry"] = None,
+                journal: Optional[Union[str, EventTrace]] = None,
+                dispatcher: str = "wfq",
                 ) -> CoschedReport:
     """Run elastic training jobs and a serving router on one shared pool.
 
@@ -279,6 +282,12 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
     (the fault plan's correlated wipes must have been drawn against the
     same tree); an ``admission`` policy arms the router's load-shedding /
     brownout path so overload degrades the shed rate instead of the p99.
+
+    A ``tenants`` registry swaps the router for the multi-tenant
+    :class:`~repro.serving.gateway.ServingGateway` (WFQ/FIFO per
+    ``dispatcher``, optional ``journal``), splitting the serving phase
+    trace across tenants by their load shares — co-scheduled training
+    harvest and tenant fairness then compose on the same pool.
     """
     if pool_devices < 2:
         raise ValueError(
@@ -312,10 +321,19 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
                            cluster.subset(list(serving_lease.device_ids)))
     inference = InferenceEngine(workload, workload.build_model(seed), mapping,
                                 backend=backend)
+    if tenants is None and journal is not None:
+        raise ValueError("a request journal needs a tenant registry")
     if source is None:
         dataset = make_dataset(workload.dataset, n=512, seed=seed)
-        source = OpenLoopPoissonSource(phases, dataset.x_val, seed=seed,
-                                       limit=limit)
+        if tenants is not None:
+            from repro.serving.gateway import MultiTenantPoissonSource
+            from repro.serving.tenancy import split_phases
+            source = MultiTenantPoissonSource(
+                tenants, split_phases(phases, tenants), dataset.x_val,
+                seed=seed, limit=limit)
+        else:
+            source = OpenLoopPoissonSource(phases, dataset.x_val, seed=seed,
+                                           limit=limit)
     autoscaler = None
     if autoscale:
         # The scaler may only target allocations the governor can actually
@@ -331,10 +349,17 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
             min_devices=min_devices,
             max_devices=min(pool_devices - train_floor, num_vns),
             cooldown=cooldown)
-    router = RequestRouter(
-        inference, source,
-        policy=MicroBatchPolicy(max_batch=max_batch, max_wait=max_wait),
-        pool=cluster, autoscaler=autoscaler, admission=admission)
+    serving_policy = MicroBatchPolicy(max_batch=max_batch, max_wait=max_wait)
+    if tenants is not None:
+        from repro.serving.gateway import ServingGateway
+        router: RequestRouter = ServingGateway(
+            inference, source, tenants, policy=serving_policy, pool=cluster,
+            autoscaler=autoscaler, admission=admission, name="router",
+            dispatcher=dispatcher, journal=journal)
+    else:
+        router = RequestRouter(
+            inference, source, policy=serving_policy,
+            pool=cluster, autoscaler=autoscaler, admission=admission)
 
     # Training tenant: everything the router does not hold.
     training = TrainingClusterProcess(
@@ -366,7 +391,12 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
         runtime.add(router)
         if fault_plan is not None:
             runtime.add(ChaosProcess(fault_plan, controller))
-        runtime.run()
+        try:
+            runtime.run()
+        finally:
+            if tenants is not None:
+                # Crash-safe journal durability on the shared-runtime path.
+                router.close_journal()
 
     end = max(router.report.duration, runtime.now)
     training.advance_to(end)

@@ -26,7 +26,13 @@ Quickstart::
 """
 
 from repro.serving.request import BatchRecord, Request, RequestRecord
-from repro.serving.batcher import MicroBatchPolicy
+from repro.serving.batcher import (
+    AdmissionPolicy,
+    DispatchQueue,
+    FifoDispatchQueue,
+    MicroBatchPolicy,
+    WFQDispatchQueue,
+)
 from repro.serving.generators import (
     ClosedLoopSource,
     OpenLoopPoissonSource,
@@ -34,18 +40,44 @@ from repro.serving.generators import (
 )
 from repro.serving.autoscaler import LatencyAutoscaler, ScalingDecision
 from repro.serving.router import RequestRouter, ServingReport, serve_workload
+from repro.serving.tenancy import (
+    SLO_CLASSES,
+    TenantRegistry,
+    TenantSpec,
+    TokenBucket,
+)
+from repro.serving.gateway import (
+    MultiTenantPoissonSource,
+    ServingGateway,
+    TenantTaggingSource,
+    audit_journal,
+    tenant_report,
+)
 
 __all__ = [
+    "AdmissionPolicy",
     "BatchRecord",
     "ClosedLoopSource",
+    "DispatchQueue",
+    "FifoDispatchQueue",
     "LatencyAutoscaler",
     "MicroBatchPolicy",
+    "MultiTenantPoissonSource",
     "OpenLoopPoissonSource",
     "Request",
     "RequestRecord",
     "RequestRouter",
     "RequestSource",
+    "SLO_CLASSES",
     "ScalingDecision",
+    "ServingGateway",
     "ServingReport",
+    "TenantRegistry",
+    "TenantSpec",
+    "TenantTaggingSource",
+    "TokenBucket",
+    "WFQDispatchQueue",
+    "audit_journal",
     "serve_workload",
+    "tenant_report",
 ]

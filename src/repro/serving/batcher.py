@@ -23,10 +23,17 @@ batch efficiency for tail latency on the requests it did admit.
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["AdmissionPolicy", "MicroBatchPolicy"]
+if TYPE_CHECKING:
+    from repro.serving.request import Request
+    from repro.serving.tenancy import TenantRegistry
+
+__all__ = ["AdmissionPolicy", "DispatchQueue", "FifoDispatchQueue",
+           "MicroBatchPolicy", "WFQDispatchQueue"]
 
 
 @dataclass(frozen=True)
@@ -103,3 +110,188 @@ class AdmissionPolicy:
                 and not self.brownout):
             raise ValueError("an admission policy needs at least one "
                              "threshold (or brownout)")
+
+
+class DispatchQueue:
+    """The router's pending-request queue, as an ordering policy.
+
+    The router admits requests, asks the queue which arrivals are pending
+    (:meth:`oldest_arrival` / :meth:`arrival_times` feed the coalescing
+    policy's trigger computation), and drains a micro-batch with
+    :meth:`take`.  Two implementations: :class:`FifoDispatchQueue`
+    reproduces the original single-stream deque bit-for-bit, and
+    :class:`WFQDispatchQueue` orders dispatch by weighted-fair virtual-time
+    finish tags so a flooding tenant cannot starve the others.
+
+    Crash-requeued requests re-enter via :meth:`requeue` and are served
+    strictly first in their original batch order under *both* policies —
+    they were already admitted and dispatched once; fairness applies to
+    admission order, not to crash recovery.
+    """
+
+    def push(self, request: "Request") -> None:
+        raise NotImplementedError
+
+    def extend(self, requests: Sequence["Request"]) -> None:
+        for r in requests:
+            self.push(r)
+
+    def requeue(self, batch: Sequence["Request"]) -> None:
+        raise NotImplementedError
+
+    def take(self, launch: float, max_batch: int) -> List["Request"]:
+        """Drain up to ``max_batch`` requests that arrived by ``launch``."""
+        raise NotImplementedError
+
+    def oldest_arrival(self) -> float:
+        """The earliest queued arrival time (the deadline anchor)."""
+        raise NotImplementedError
+
+    def arrival_times(self) -> List[float]:
+        """All queued arrival times, ascending (the trigger-time input)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FifoDispatchQueue(DispatchQueue):
+    """Strict arrival-order dispatch — the pre-tenancy router behaviour.
+
+    A thin wrapper over a deque: arrivals append, crash requeues prepend,
+    and :meth:`take` pops from the head while the head arrived by the
+    launch time.  Because both the source and the requeue path keep the
+    deque sorted by arrival time, stopping at the first too-late head is
+    exhaustive.
+    """
+
+    def __init__(self) -> None:
+        self._queue: Deque["Request"] = deque()
+
+    def push(self, request: "Request") -> None:
+        self._queue.append(request)
+
+    def extend(self, requests: Sequence["Request"]) -> None:
+        self._queue.extend(requests)
+
+    def requeue(self, batch: Sequence["Request"]) -> None:
+        for r in reversed(batch):
+            self._queue.appendleft(r)
+
+    def take(self, launch: float, max_batch: int) -> List["Request"]:
+        batch: List["Request"] = []
+        while (self._queue and len(batch) < max_batch
+               and self._queue[0].arrival_time <= launch):
+            batch.append(self._queue.popleft())
+        return batch
+
+    def oldest_arrival(self) -> float:
+        return self._queue[0].arrival_time
+
+    def arrival_times(self) -> List[float]:
+        return [r.arrival_time for r in self._queue]
+
+    def clear(self) -> None:
+        self._queue.clear()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class WFQDispatchQueue(DispatchQueue):
+    """Weighted fair queueing over tenants, via virtual-time finish tags.
+
+    Start-time fair queueing (SFQ): a request from tenant *i* gets
+    ``start = max(vtime, last_finish[i])`` and
+    ``finish = start + 1/weight_i``; dispatch drains in ascending
+    ``(finish, seq)`` order, and ``vtime`` advances to the start tag of the
+    last dispatched request.  While two tenants are both backlogged, tenant
+    *i* receives ``weight_i / sum(weights)`` of the dispatch slots; an idle
+    tenant banks nothing (its next start tag snaps up to ``vtime``).
+
+    Determinism and the single-tenant identity: tags are pure arithmetic
+    over arrival order, ties break on the push sequence number, and with
+    one tenant every finish tag exceeds the previous one — so tag order
+    *is* arrival order and the dispatch stream is bit-identical to
+    :class:`FifoDispatchQueue`.  That identity is pinned by the golden
+    trace suite.
+
+    ``registry`` supplies per-tenant weights; requests from unregistered
+    tenants (and untagged requests, ``tenant=None``) share a default
+    weight-1.0 flow.
+    """
+
+    def __init__(self, registry: Optional["TenantRegistry"] = None) -> None:
+        self._weights: Dict[Optional[str], float] = {}
+        if registry is not None:
+            for spec in registry:
+                self._weights[spec.tenant_id] = spec.weight
+        # (finish, seq, start, request) — heapq orders by finish then seq.
+        self._heap: List[Tuple[float, int, float, "Request"]] = []
+        self._front: Deque["Request"] = deque()
+        self._vtime = 0.0
+        self._last_finish: Dict[Optional[str], float] = {}
+        self._seq = 0
+
+    def push(self, request: "Request") -> None:
+        weight = self._weights.get(request.tenant, 1.0)
+        start = max(self._vtime, self._last_finish.get(request.tenant, 0.0))
+        finish = start + 1.0 / weight
+        self._last_finish[request.tenant] = finish
+        heapq.heappush(self._heap, (finish, self._seq, start, request))
+        self._seq += 1
+
+    def requeue(self, batch: Sequence["Request"]) -> None:
+        for r in reversed(batch):
+            self._front.appendleft(r)
+
+    def take(self, launch: float, max_batch: int) -> List["Request"]:
+        batch: List["Request"] = []
+        while (self._front and len(batch) < max_batch
+               and self._front[0].arrival_time <= launch):
+            batch.append(self._front.popleft())
+        skipped: List[Tuple[float, int, float, "Request"]] = []
+        while self._heap and len(batch) < max_batch:
+            entry = heapq.heappop(self._heap)
+            if entry[3].arrival_time <= launch:
+                batch.append(entry[3])
+                self._vtime = max(self._vtime, entry[2])
+            else:
+                # Not yet arrived at this launch time: keep its tags so it
+                # rejoins the heap at exactly the same rank.
+                skipped.append(entry)
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return batch
+
+    def oldest_arrival(self) -> float:
+        if not self._front and not self._heap:
+            raise IndexError("oldest_arrival on an empty queue")
+        candidates = []
+        if self._front:
+            candidates.append(self._front[0].arrival_time)
+        if self._heap:
+            candidates.append(min(e[3].arrival_time for e in self._heap))
+        return min(candidates)
+
+    def arrival_times(self) -> List[float]:
+        times = [r.arrival_time for r in self._front]
+        times.extend(e[3].arrival_time for e in self._heap)
+        times.sort()
+        return times
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._front.clear()
+        self._vtime = 0.0
+        self._last_finish.clear()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._front) + len(self._heap)

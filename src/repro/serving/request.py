@@ -25,6 +25,7 @@ class Request:
     arrival_time: float
     example: np.ndarray
     client: Optional[int] = None  # set by closed-loop sources
+    tenant: Optional[str] = None  # set by multi-tenant sources (gateway path)
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
@@ -48,6 +49,7 @@ class RequestRecord:
     batch_size: int
     devices: int
     client: Optional[int] = None
+    tenant: Optional[str] = None
 
     @property
     def queue_delay(self) -> float:

@@ -32,9 +32,20 @@ training job's harvest during a spike.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from repro.serving.tenancy import TenantRegistry
 
 import numpy as np
 
@@ -59,7 +70,12 @@ from repro.runtime import (
     open_trace,
 )
 from repro.serving.autoscaler import AllocationProfile, LatencyAutoscaler
-from repro.serving.batcher import AdmissionPolicy, MicroBatchPolicy
+from repro.serving.batcher import (
+    AdmissionPolicy,
+    DispatchQueue,
+    FifoDispatchQueue,
+    MicroBatchPolicy,
+)
 from repro.serving.generators import OpenLoopPoissonSource, RequestSource
 from repro.serving.request import BatchRecord, Request, RequestRecord
 from repro.telemetry import percentile
@@ -156,6 +172,12 @@ class ServingReport:
     shed: List[Tuple[float, int, str]] = field(default_factory=list)
     # Batches dispatched under the halved brownout policy.
     brownout_batches: int = 0
+    # Gateway runs only: per-tenant SLO digests keyed by tenant id (see
+    # repro.serving.gateway.tenant_report) and tenant-attributed sheds as
+    # (arrival_time, request_id, tenant, reason) 4-tuples.  Both stay empty
+    # on the single-stream router path.
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    tenant_shed: List[Tuple[float, int, str, str]] = field(default_factory=list)
 
     def latencies(self) -> np.ndarray:
         return np.asarray([r.latency for r in self.records], dtype=float)
@@ -276,7 +298,8 @@ class RequestRouter:
                  autoscaler: Optional[LatencyAutoscaler] = None,
                  collect_logits: bool = False,
                  name: str = "router",
-                 admission: Optional[AdmissionPolicy] = None) -> None:
+                 admission: Optional[AdmissionPolicy] = None,
+                 dispatch_queue: Optional[DispatchQueue] = None) -> None:
         if autoscaler is not None and pool is None:
             raise ValueError("autoscaling needs a device pool to draw from")
         self.inference = inference
@@ -295,7 +318,9 @@ class RequestRouter:
         self._governor: Optional[Callable[[float, int], int]] = None
         self._on_rescaled: Optional[Callable[[float], None]] = None
         self._on_drain: Optional[Callable[[float], None]] = None
-        self._pending: Deque[Request] = deque()
+        self._pending: DispatchQueue = (
+            dispatch_queue if dispatch_queue is not None
+            else FifoDispatchQueue())
         self._server_free = 0.0
         self._devices = self.devices
         self._batch_id = 0
@@ -464,41 +489,56 @@ class RequestRouter:
 
     # -- admission control ----------------------------------------------------
 
+    def _brownout_active(self) -> bool:
+        """True while the admission policy's brownout is armed *and* the
+        lease's capacity is currently derated below full speed."""
+        if (self.admission is None or not self.admission.brownout
+                or self._conditions is None or self._lease is None):
+            return False
+        return self._conditions.bottleneck_speed(self._lease.device_ids) < 1.0
+
     def _policy_now(self) -> MicroBatchPolicy:
         """The coalescing policy in force: the configured one, or its
         brownout half when the admission policy says so and the lease's
         capacity is currently derated.  Without an admission policy this
         is always the configured object — bit-identical behaviour."""
-        if (self.admission is None or not self.admission.brownout
-                or self._conditions is None or self._lease is None):
-            return self.policy
-        if self._conditions.bottleneck_speed(self._lease.device_ids) >= 1.0:
+        if not self._brownout_active():
             return self.policy
         return MicroBatchPolicy(max_batch=max(1, self.policy.max_batch // 2),
                                 max_wait=self.policy.max_wait / 2)
 
-    def _should_shed(self, request: Request) -> Optional[str]:
-        """The threshold a new arrival trips, or None to admit it.
+    def _shed_reason(self, request: Request, depth_limit: Optional[int],
+                     wait_limit: Optional[float]) -> Optional[str]:
+        """The threshold a new arrival trips against the given limits.
 
         Evaluated entirely from state at the request's arrival: the queue
         depth it would join, the server backlog at its arrival time, and
         the last observed batch service time — all deterministic, so the
         decision replays bit-identically under both queue backends.
         """
-        policy = self.admission
-        if policy is None:
-            return None
-        if (policy.max_queue_depth is not None
-                and len(self._pending) >= policy.max_queue_depth):
+        if depth_limit is not None and len(self._pending) >= depth_limit:
             return "depth"
-        if policy.max_estimated_wait is not None and self._service_estimate > 0:
+        if wait_limit is not None and self._service_estimate > 0:
             backlog = max(0.0, self._server_free - request.arrival_time)
             batches_ahead = (
                 len(self._pending) // self._policy_now().max_batch + 1)
             estimate = backlog + batches_ahead * self._service_estimate
-            if estimate > policy.max_estimated_wait:
+            if estimate > wait_limit:
                 return "wait"
         return None
+
+    def _should_shed(self, request: Request) -> Optional[str]:
+        """The threshold a new arrival trips, or None to admit it."""
+        policy = self.admission
+        if policy is None:
+            return None
+        return self._shed_reason(request, policy.max_queue_depth,
+                                 policy.max_estimated_wait)
+
+    def _record_shed(self, request: Request, reason: str) -> None:
+        """Account one shed arrival (the gateway adds tenant accounting)."""
+        self.report.shed.append(
+            (request.arrival_time, request.request_id, reason))
 
     def _enqueue(self, requests: Sequence[Request]) -> int:
         """Queue new arrivals through the admission controller; returns how
@@ -511,9 +551,9 @@ class RequestRouter:
         for r in requests:
             reason = self._should_shed(r)
             if reason is None:
-                self._pending.append(r)
+                self._pending.push(r)
             else:
-                self.report.shed.append((r.arrival_time, r.request_id, reason))
+                self._record_shed(r, reason)
                 shed += 1
         return shed
 
@@ -543,13 +583,13 @@ class RequestRouter:
         if self._halted:
             return
         policy = self._policy_now()
-        deadline = policy.deadline(self._pending[0].arrival_time)
+        deadline = policy.deadline(self._pending.oldest_arrival())
         horizon = max(deadline, self._server_free)
         self._admit(horizon)
         # The clamp to the clock matters only after a crash reset
         # _server_free: every normal plan already launches at or after now.
         launch = max(
-            policy.trigger_time([r.arrival_time for r in self._pending]),
+            policy.trigger_time(self._pending.arrival_times()),
             self._server_free, self._runtime.now)
         self._admit(launch)
         self._dispatch_event = self._runtime.at(
@@ -561,10 +601,7 @@ class RequestRouter:
         policy = self._policy_now()
         if policy is not self.policy:
             self.report.brownout_batches += 1
-        batch: List[Request] = []
-        while (self._pending and len(batch) < policy.max_batch
-               and self._pending[0].arrival_time <= launch):
-            batch.append(self._pending.popleft())
+        batch = self._pending.take(launch, policy.max_batch)
 
         result = self.inference.predict_requests([r.example for r in batch])
         latency = result.sim_latency
@@ -583,6 +620,9 @@ class RequestRouter:
         return {"batch_id": batch_id, "size": len(batch),
                 "devices": self._devices, "waves": result.waves}
 
+    def _record_completion(self, records: List[RequestRecord]) -> None:
+        """Per-batch completion hook (the gateway journals records here)."""
+
     def _on_completion(self, completion: float, batch: List[Request],
                        batch_id: int, launch: float,
                        result) -> Dict[str, object]:
@@ -598,10 +638,12 @@ class RequestRouter:
                 batch_size=len(batch),
                 devices=self._devices,
                 client=r.client,
+                tenant=r.tenant,
             )
             for r in batch
         ]
         report.records.extend(records)
+        self._record_completion(records)
         report.batches.append(BatchRecord(
             batch_id=batch_id, dispatch_time=launch,
             completion_time=completion, size=len(batch),
@@ -653,8 +695,7 @@ class RequestRouter:
             event, batch, _batch_id, _launch = self._inflight
             event.cancel()
             self._inflight = None
-            for r in reversed(batch):
-                self._pending.appendleft(r)
+            self._pending.requeue(batch)
             requeued = len(batch)
             self._server_free = now  # the crashed pipeline is idle from here
             if not self._halted:
@@ -773,6 +814,9 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
                    trace: Optional[Union[str, EventTrace]] = None,
                    queue_backend: Optional[str] = None,
                    admission: Optional[AdmissionPolicy] = None,
+                   tenants: Optional["TenantRegistry"] = None,
+                   journal: Optional[Union[str, EventTrace]] = None,
+                   dispatcher: str = "wfq",
                    ) -> ServingReport:
     """Build and run a complete serving session for a registered workload.
 
@@ -781,6 +825,14 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
     open-loop Poisson source over ``phases`` (or any explicit ``source``),
     and a router — autoscaled over the pool when ``autoscale`` is set,
     pinned to ``initial_devices`` otherwise.
+
+    With a ``tenants`` registry the session runs through the multi-tenant
+    :class:`~repro.serving.gateway.ServingGateway` instead: the phase trace
+    splits into per-tenant Poisson streams by the registry's load shares
+    (unless an explicit, already-tagged ``source`` is supplied), dispatch
+    follows the ``dispatcher`` policy (``"wfq"``/``"fifo"``), and
+    ``journal`` optionally records the durable per-request JSONL journal
+    ``repro audit`` replays.
     """
     if pool_devices < 1:
         raise ValueError(f"pool_devices must be >= 1, got {pool_devices}")
@@ -809,10 +861,20 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
     inference = InferenceEngine(workload, workload.build_model(seed), mapping,
                                 backend=backend)
 
+    if tenants is None and journal is not None:
+        raise ValueError("a request journal needs a tenant registry")
     if source is None:
         dataset = make_dataset(workload.dataset, n=512, seed=seed)
-        source = OpenLoopPoissonSource(phases, dataset.x_val, seed=seed,
-                                       limit=limit)
+        if tenants is not None:
+            # Imported lazily: the gateway module builds on this one.
+            from repro.serving.gateway import MultiTenantPoissonSource
+            from repro.serving.tenancy import split_phases
+            source = MultiTenantPoissonSource(
+                tenants, split_phases(phases, tenants), dataset.x_val,
+                seed=seed, limit=limit)
+        else:
+            source = OpenLoopPoissonSource(phases, dataset.x_val, seed=seed,
+                                           limit=limit)
     autoscaler = None
     if autoscale:
         autoscaler = LatencyAutoscaler(
@@ -820,9 +882,16 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
             capacity=ladder_capacity(workload, vn_set, pool, max_batch, start),
             min_devices=min_devices,
             max_devices=min(pool_devices, num_vns), cooldown=cooldown)
-    router = RequestRouter(
-        inference, source,
-        policy=MicroBatchPolicy(max_batch=max_batch, max_wait=max_wait),
-        pool=pool, autoscaler=autoscaler, collect_logits=collect_logits,
-        admission=admission)
+    policy = MicroBatchPolicy(max_batch=max_batch, max_wait=max_wait)
+    if tenants is not None:
+        from repro.serving.gateway import ServingGateway
+        router: RequestRouter = ServingGateway(
+            inference, source, tenants, policy=policy, pool=pool,
+            autoscaler=autoscaler, collect_logits=collect_logits,
+            admission=admission, dispatcher=dispatcher, journal=journal)
+    else:
+        router = RequestRouter(
+            inference, source, policy=policy, pool=pool,
+            autoscaler=autoscaler, collect_logits=collect_logits,
+            admission=admission)
     return router.run(trace=trace, queue_backend=queue_backend)

@@ -111,13 +111,21 @@ def serving_to_dict(report) -> dict:
         ],
         "scaling_events": [list(e) for e in report.scaling_events],
     }
-    # Admission-control fields are opt-in: the keys appear only when the
-    # scenario actually shed or browned out, so the pre-admission fixtures
+    # Admission-control and tenancy fields are opt-in: the keys appear only
+    # when the scenario actually shed, browned out, or ran through the
+    # multi-tenant gateway, so the pre-admission and pre-tenancy fixtures
     # stay byte-identical without regeneration.
     if report.shed:
         out["shed"] = [list(s) for s in report.shed]
     if report.brownout_batches:
         out["brownout_batches"] = report.brownout_batches
+    if any(r.tenant is not None for r in report.records):
+        for entry, r in zip(out["records"], report.records):
+            entry["tenant"] = r.tenant
+    if report.tenants:
+        out["tenants"] = report.tenants
+    if report.tenant_shed:
+        out["tenant_shed"] = [list(s) for s in report.tenant_shed]
     return out
 
 
@@ -202,6 +210,27 @@ def chaos_domain_wipe_recover() -> dict:
         admission=admission, topology=topology))
 
 
+def serve_tenants_wfq() -> dict:
+    """The multi-tenant gateway under overload, pinned end to end.
+
+    A premium tenant (weight 4, inside a 250 rps quota) and a best-effort
+    tenant carrying twice the load share a 2-device pool that cannot absorb
+    the offered rate, with load shedding armed: WFQ ordering, token-bucket
+    quota decisions, tenant-attributed sheds, and the per-tenant SLO
+    digests all replay bit-identically under both queue backends.
+    """
+    from repro.serving.tenancy import TenantRegistry
+
+    registry = TenantRegistry.from_spec(
+        "prem:class=premium,weight=4,quota=250,share=1;"
+        "batch:class=best_effort,weight=1,share=2")
+    admission = AdmissionPolicy(max_queue_depth=6, max_estimated_wait=0.012)
+    return serving_to_dict(serve_workload(
+        "mlp_synthetic", [ServingPhase(1.5, 1500.0)],
+        max_batch=8, max_wait=0.002, pool_devices=2, seed=5,
+        tenants=registry, admission=admission))
+
+
 # The fixture matrix.  Simulation fixtures cover both schedulers on the
 # canonical §6.4.1 trace plus a 20-job Poisson trace (hundreds of events,
 # resizes, queueing); serving fixtures cover a fixed mapping and a spiky
@@ -221,6 +250,7 @@ def capture() -> dict:
     fixtures["serve_fixed"] = serving_to_dict(serve_workload(
         "mlp_synthetic", [ServingPhase(1.0, 300.0)],
         max_batch=8, max_wait=0.002, pool_devices=4, seed=0))
+    fixtures["serve_tenants_wfq"] = serve_tenants_wfq()
     fixtures["serve_autoscaled"] = serving_to_dict(serve_workload(
         "mlp_synthetic", spike_phases(400.0, 6.0, 3.0, 1.0),
         max_batch=16, max_wait=0.002, pool_devices=8,

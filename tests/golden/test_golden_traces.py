@@ -26,6 +26,7 @@ FIXTURES = (
     "sim_trace20_wfs",
     "serve_fixed",
     "serve_autoscaled",
+    "serve_tenants_wfq",
     "cosched_chaos_crash_recover",
     "cosched_domain_wipe_recover",
 )
@@ -86,3 +87,62 @@ def test_serving_event_order_deterministic():
             autoscale=True, slo_p99=0.030, initial_devices=1, seed=4))
 
     assert run() == run()
+
+
+def _single_tenant_gateway_dict(phases, *, seed, **kwargs):
+    """A WFQ gateway run whose one tenant wraps the plain Poisson source."""
+    from repro.data import make_dataset
+    from repro.framework.models import get_workload
+    from repro.serving import (
+        OpenLoopPoissonSource,
+        TenantRegistry,
+        TenantSpec,
+        TenantTaggingSource,
+        serve_workload,
+    )
+
+    workload = get_workload("mlp_synthetic")
+    dataset = make_dataset(workload.dataset, n=512, seed=seed)
+    source = TenantTaggingSource(
+        OpenLoopPoissonSource(phases, dataset.x_val, seed=seed), "only")
+    registry = TenantRegistry([TenantSpec("only", slo_class="premium")])
+    report = serve_workload(
+        "mlp_synthetic", phases, seed=seed, source=source, tenants=registry,
+        **kwargs)
+    got = json.loads(json.dumps(serving_to_dict(report)))
+    # Strip the gateway's additive tenant bookkeeping; everything that
+    # remains must be bit-identical to the plain-router fixture.
+    got.pop("tenants")
+    for record in got["records"]:
+        assert record.pop("tenant") == "only"
+    return got
+
+
+def _fixed_phases():
+    from repro.elastic import ServingPhase
+    return [ServingPhase(1.0, 300.0)]
+
+
+def _spiky_phases():
+    from repro.elastic import spike_phases
+    return spike_phases(400.0, 6.0, 3.0, 1.0)
+
+
+@pytest.mark.parametrize("name,phases,kwargs", [
+    ("serve_fixed", _fixed_phases,
+     dict(max_batch=8, max_wait=0.002, pool_devices=4, seed=0)),
+    ("serve_autoscaled", _spiky_phases,
+     dict(max_batch=16, pool_devices=8, autoscale=True, slo_p99=0.030,
+          initial_devices=2, seed=1)),
+])
+def test_single_tenant_wfq_matches_fifo_golden(name, phases, kwargs):
+    """One tenant through the WFQ gateway == the pre-tenancy FIFO router.
+
+    The tentpole's bit-identity clause: with a single tenant the WFQ
+    dispatcher's finish tags are monotone in arrival order, so the gateway
+    reproduces the committed pre-PR golden fixtures byte for byte — fixed
+    mapping and the autoscaled spike both.
+    """
+    got = _single_tenant_gateway_dict(phases(), **kwargs)
+    assert got == _load(name), (
+        f"{name}: single-tenant WFQ gateway diverged from the FIFO golden")

@@ -408,3 +408,131 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "Gavel+HT" in out
+
+
+TENANT_SPEC = "prem:class=premium,weight=4,quota=250;batch:share=2"
+
+
+class TestTenancyFlags:
+    @pytest.mark.parametrize("command", ["serve", "cosched", "chaos"])
+    def test_tenancy_flags_parse(self, command):
+        args = build_parser().parse_args(VALID_ARGS[command] + [
+            "--tenants", TENANT_SPEC, "--journal", "j.jsonl",
+            "--dispatcher", "fifo"])
+        assert args.tenants == TENANT_SPEC
+        assert args.journal == "j.jsonl"
+        assert args.dispatcher == "fifo"
+
+    @pytest.mark.parametrize("command", ["serve", "cosched", "chaos"])
+    def test_tenancy_defaults(self, command):
+        args = build_parser().parse_args(VALID_ARGS[command])
+        assert args.tenants is None
+        assert args.journal is None
+        assert args.dispatcher == "wfq"
+
+    def test_unknown_dispatcher_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                VALID_ARGS["serve"] + ["--dispatcher", "lifo"])
+
+    def test_audit_requires_journal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit"])
+        args = build_parser().parse_args(
+            ["audit", "--journal", "j.jsonl", "--json"])
+        assert args.journal == "j.jsonl" and args.json
+
+    def test_journal_without_tenants_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(VALID_ARGS["serve"] + ["--journal", "j.jsonl"])
+        assert exc.value.code == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_dispatcher_without_tenants_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(VALID_ARGS["serve"] + ["--dispatcher", "fifo"])
+        assert exc.value.code == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_bad_tenant_spec_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(VALID_ARGS["serve"] + ["--tenants", "prem:speed=4"])
+        assert exc.value.code == 2
+        assert "unknown key" in capsys.readouterr().err
+
+
+class TestTenancyCommands:
+    def test_serve_with_tenants_prints_tenant_table(self, capsys, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        rc = main(["serve", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "300", "--duration", "1",
+                   "--devices", "2", "--seed", "5",
+                   "--tenants", TENANT_SPEC, "--journal", journal])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-tenant SLO attainment" in out
+        assert "prem" in out and "batch" in out
+        assert "request journal written to" in out
+
+    def test_audit_reproduces_the_serve_numbers(self, capsys, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        assert main(["serve", "--workload", "mlp_synthetic",
+                     "--arrival-rate", "300", "--duration", "1",
+                     "--devices", "2", "--seed", "5",
+                     "--tenants", TENANT_SPEC, "--journal", journal]) == 0
+        serve_out = capsys.readouterr().out
+        assert main(["audit", "--journal", journal]) == 0
+        audit_out = capsys.readouterr().out
+        assert "journal audit:" in audit_out and "wfq dispatcher" in audit_out
+        # The audit table carries the exact attainment rows the live run
+        # printed (row order may differ; the numbers may not).
+        for line in serve_out.splitlines():
+            if line.startswith(("prem ", "batch ")):
+                assert line in audit_out
+
+    def test_audit_json_mode(self, capsys, tmp_path):
+        import json
+
+        journal = str(tmp_path / "journal.jsonl")
+        assert main(["serve", "--workload", "mlp_synthetic",
+                     "--arrival-rate", "300", "--duration", "1",
+                     "--devices", "2", "--seed", "5",
+                     "--tenants", TENANT_SPEC, "--journal", journal]) == 0
+        capsys.readouterr()
+        assert main(["audit", "--journal", journal, "--json"]) == 0
+        audit = json.loads(capsys.readouterr().out)
+        assert audit["dispatcher"] == "wfq"
+        assert set(audit["tenants"]) == {"prem", "batch"}
+
+    def test_audit_missing_journal_fails_cleanly(self, capsys, tmp_path):
+        rc = main(["audit", "--journal", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "cannot read journal" in capsys.readouterr().err
+
+    def test_audit_rejects_a_non_journal_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["serve", "--workload", "mlp_synthetic",
+                     "--arrival-rate", "200", "--duration", "1",
+                     "--devices", "2", "--seed", "1",
+                     "--trace-out", path]) == 0
+        capsys.readouterr()
+        rc = main(["audit", "--journal", path])
+        assert rc == 2
+        assert "malformed journal" in capsys.readouterr().err
+
+    def test_cosched_with_tenants_journals_the_shared_runtime(
+            self, capsys, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        rc = main(["cosched", "--workload", "mlp_synthetic",
+                   "--arrival-rate", "300", "--duration", "2",
+                   "--spike-factor", "2", "--spike-duration", "0.5",
+                   "--devices", "4", "--initial-serving", "2",
+                   "--seed", "1", "--tenants", TENANT_SPEC,
+                   "--journal", journal])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-tenant SLO attainment" in out
+        assert "request journal written to" in out
+        capsys.readouterr()
+        assert main(["audit", "--journal", journal]) == 0
+        assert "journal audit:" in capsys.readouterr().out
