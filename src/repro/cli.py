@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import Dict, Optional, Sequence
 
 from repro.core import (
@@ -133,6 +134,34 @@ def _make_trace(args):
     if args.trace_out is not None and args.trace_sample > 1:
         return EventTrace(args.trace_out, sample=args.trace_sample)
     return args.trace_out
+
+
+def _add_profile_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="run under cProfile and dump the stats file here "
+                        "(off by default; inspect with python -m pstats)")
+
+
+@contextmanager
+def _maybe_profile(path: Optional[str]):
+    """cProfile the wrapped run when ``--profile PATH`` is set.
+
+    Stats are dumped even when the run raises, so a profile of a crashing
+    configuration is still recoverable.
+    """
+    if not path:
+        yield
+        return
+    import cProfile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        print(f"cProfile stats written to {path} "
+              f"(inspect with: python -m pstats {path})")
 
 
 def _add_tenancy_flags(p: argparse.ArgumentParser) -> None:
@@ -244,6 +273,7 @@ def _add_cosched_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", choices=backend_names(), default="reference")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write the runtime's JSONL event timeline here")
+    _add_profile_flag(p)
     _add_tenancy_flags(p)
     _add_runtime_flags(p)
 
@@ -334,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", choices=backend_names(), default="reference")
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the runtime's JSONL event timeline here")
+    _add_profile_flag(serve)
     _add_tenancy_flags(serve)
     _add_runtime_flags(serve)
 
@@ -507,16 +538,18 @@ def _cmd_serve(args) -> int:
     trace = _make_trace(args)
     tenants, journal, dispatcher = _tenancy_from_args(args)
     try:
-        report = serve_workload(
-            args.workload, phases,
-            max_batch=args.max_batch, max_wait=args.max_wait / 1e3,
-            pool_devices=args.devices, device_type=args.device_type,
-            virtual_nodes=args.virtual_nodes,
-            initial_devices=args.initial_devices,
-            autoscale=args.autoscale, slo_p99=slo if args.autoscale else None,
-            backend=args.backend, seed=args.seed, limit=args.requests,
-            trace=trace, queue_backend=args.queue_backend,
-            tenants=tenants, journal=journal, dispatcher=dispatcher)
+        with _maybe_profile(args.profile):
+            report = serve_workload(
+                args.workload, phases,
+                max_batch=args.max_batch, max_wait=args.max_wait / 1e3,
+                pool_devices=args.devices, device_type=args.device_type,
+                virtual_nodes=args.virtual_nodes,
+                initial_devices=args.initial_devices,
+                autoscale=args.autoscale,
+                slo_p99=slo if args.autoscale else None,
+                backend=args.backend, seed=args.seed, limit=args.requests,
+                trace=trace, queue_backend=args.queue_backend,
+                tenants=tenants, journal=journal, dispatcher=dispatcher)
     finally:
         if isinstance(trace, EventTrace):
             trace.close()
@@ -583,18 +616,21 @@ def _cmd_cosched(args, fault_plan=None, recovery=None,
     admission = _admission_from_args(args)
     tenants, journal, dispatcher = _tenancy_from_args(args)
     try:
-        report = run_cosched(
-            args.workload, phases, train_specs,
-            pool_devices=args.devices, device_type=args.device_type,
-            max_batch=args.max_batch, max_wait=args.max_wait / 1e3,
-            initial_serving=args.initial_serving,
-            autoscale=not args.static, slo_p99=None if args.static else slo,
-            train_floor=args.train_floor, resize_delay=args.resize_delay,
-            backend=args.backend, seed=args.seed, limit=args.requests,
-            trace=trace, queue_backend=args.queue_backend,
-            fault_plan=fault_plan, recovery=recovery, retry_delay=retry_delay,
-            admission=admission, topology=topology,
-            tenants=tenants, journal=journal, dispatcher=dispatcher)
+        with _maybe_profile(args.profile):
+            report = run_cosched(
+                args.workload, phases, train_specs,
+                pool_devices=args.devices, device_type=args.device_type,
+                max_batch=args.max_batch, max_wait=args.max_wait / 1e3,
+                initial_serving=args.initial_serving,
+                autoscale=not args.static,
+                slo_p99=None if args.static else slo,
+                train_floor=args.train_floor, resize_delay=args.resize_delay,
+                backend=args.backend, seed=args.seed, limit=args.requests,
+                trace=trace, queue_backend=args.queue_backend,
+                fault_plan=fault_plan, recovery=recovery,
+                retry_delay=retry_delay,
+                admission=admission, topology=topology,
+                tenants=tenants, journal=journal, dispatcher=dispatcher)
     finally:
         if isinstance(trace, EventTrace):
             trace.close()

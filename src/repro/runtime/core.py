@@ -787,6 +787,28 @@ class EventQueue:
                            slot if self.backend == "heap" else handle)
         return event
 
+    def post(self, time: float, action: Action, *, kind: str = "event",
+             actor: str = "runtime") -> int:
+        """Schedule ``action`` at ``time`` and return its *handle*.
+
+        The facade-free single-event twin of :meth:`post_many`: identical
+        scheduling semantics to :meth:`push` (same sequence numbering,
+        same ordering) but no :class:`Event` object is built — the
+        returned int handle drives :meth:`cancel_handle` and
+        :meth:`handle_alive` directly.  This is the seam a hot serving
+        loop posts its admit/dispatch/complete chain through.
+        """
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time!r}")
+        time = float(time)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = self._slab.alloc(time, seq, (action, kind, actor))
+        self._index.insert(time, seq,
+                           handle & _SLOT_MASK if self.backend == "heap"
+                           else handle)
+        return handle
+
     def post_many(self, times: Union[Sequence[float], np.ndarray],
                   action: Action, *, kind: str = "event",
                   actor: str = "runtime") -> np.ndarray:
@@ -956,6 +978,20 @@ class Runtime:
             raise ValueError(f"delay must be >= 0, got {delay}")
         return self.queue.push(self.clock.now + delay, action,
                                kind=kind, actor=actor)
+
+    def post(self, time: float, action: Action, *, kind: str = "event",
+             actor: str = "runtime") -> int:
+        """Schedule ``action`` at ``time`` facade-free; returns the event
+        handle (see :meth:`EventQueue.post`)."""
+        return self.queue.post(time, action, kind=kind, actor=actor)
+
+    def cancel(self, handle: int) -> bool:
+        """Cancel a handle-posted event; False if already dead/fired."""
+        return self.queue.cancel_handle(handle)
+
+    def alive(self, handle: int) -> bool:
+        """Whether a handle-posted event is still scheduled."""
+        return self.queue.handle_alive(handle)
 
     def post_many(self, times: Union[Sequence[float], np.ndarray],
                   action: Action, *, kind: str = "event",

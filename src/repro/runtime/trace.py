@@ -33,7 +33,16 @@ from __future__ import annotations
 import json
 import os
 from contextlib import contextmanager
-from typing import Any, Dict, IO, Iterator, List, Optional, Union
+from typing import (
+    Any,
+    Dict,
+    IO,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 __all__ = ["EventTrace", "open_trace", "read_trace"]
 
@@ -125,6 +134,74 @@ class EventTrace:
         buffer.extend(f'{prefix}{s}, "t": {t!r}}}\n'
                       for t, s in zip(t_list, s_list))
         self.events_written += len(t_list)
+        if len(buffer) >= self._buffer_lines:
+            self.flush()
+
+    def emit_many_data(self, times: Sequence[float], seqs: Sequence[int],
+                       kind: str, actor: str,
+                       data_json: Sequence[str]) -> None:
+        """Journal a run of events that each carry a payload.
+
+        The data-carrying sibling of :meth:`emit_many`: ``data_json[i]``
+        is event ``i``'s payload *already formatted* as a JSON object
+        string with its keys in sorted order (the caller formats a whole
+        wave in one pass).  The assembled lines are byte-identical to
+        what per-event :meth:`emit` calls would have produced, and the
+        sampling and buffering counters advance exactly as if each event
+        had been offered individually.
+        """
+        n = len(times)
+        if n == 0:
+            return
+        if hasattr(times, "tolist"):
+            times = times.tolist()   # np.float64 repr != float repr
+        if hasattr(seqs, "tolist"):
+            seqs = seqs.tolist()
+        seen = self.events_seen
+        self.events_seen = seen + n
+        sample = self.sample
+        first = (-seen) % sample  # offset of the first kept event
+        if first >= n:
+            return
+        if sample > 1:
+            times = times[first::sample]
+            seqs = seqs[first::sample]
+            data_json = data_json[first::sample]
+        prefix = (f'{{"actor": {json.dumps(actor)}, "data": ')
+        kind_part = f', "kind": {json.dumps(kind)}, "seq": '
+        buffer = self._buffer
+        buffer.extend(
+            f'{prefix}{d}{kind_part}{s}, "t": {t!r}}}\n'
+            for t, s, d in zip(times, seqs, data_json))
+        self.events_written += len(data_json)
+        if len(buffer) >= self._buffer_lines:
+            self.flush()
+
+    def emit_many_lines(self, lines: Sequence[str]) -> None:
+        """Journal a run of fully assembled JSONL lines.
+
+        The zero-copy sibling of :meth:`emit_many_data` for hot callers
+        that build each complete line themselves (typically from cached
+        constant fragments, one f-string per line).  The caller guarantees
+        every line is byte-identical to what :meth:`emit` would have
+        produced — newline included; sampling and buffering counters
+        advance exactly as if each line's event had been offered
+        individually.
+        """
+        n = len(lines)
+        if n == 0:
+            return
+        seen = self.events_seen
+        self.events_seen = seen + n
+        sample = self.sample
+        first = (-seen) % sample  # offset of the first kept event
+        if first >= n:
+            return
+        if sample > 1:
+            lines = lines[first::sample]
+        buffer = self._buffer
+        buffer.extend(lines)
+        self.events_written += len(lines)
         if len(buffer) >= self._buffer_lines:
             self.flush()
 

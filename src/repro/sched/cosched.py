@@ -260,6 +260,7 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
                 tenants: Optional["TenantRegistry"] = None,
                 journal: Optional[Union[str, EventTrace]] = None,
                 dispatcher: str = "wfq",
+                admission_mode: Optional[str] = None,
                 ) -> CoschedReport:
     """Run elastic training jobs and a serving router on one shared pool.
 
@@ -355,11 +356,13 @@ def run_cosched(workload_name: str, phases: Sequence[ServingPhase],
         router: RequestRouter = ServingGateway(
             inference, source, tenants, policy=serving_policy, pool=cluster,
             autoscaler=autoscaler, admission=admission, name="router",
-            dispatcher=dispatcher, journal=journal)
+            dispatcher=dispatcher, journal=journal,
+            admission_mode=admission_mode)
     else:
         router = RequestRouter(
             inference, source, policy=serving_policy,
-            pool=cluster, autoscaler=autoscaler, admission=admission)
+            pool=cluster, autoscaler=autoscaler, admission=admission,
+            admission_mode=admission_mode)
 
     # Training tenant: everything the router does not hold.
     training = TrainingClusterProcess(

@@ -24,9 +24,12 @@ batch efficiency for tail latency on the requests it did admit.
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 if TYPE_CHECKING:
     from repro.serving.request import Request
@@ -135,6 +138,16 @@ class DispatchQueue:
     def extend(self, requests: Sequence["Request"]) -> None:
         for r in requests:
             self.push(r)
+
+    def push_wave(self, requests: Sequence["Request"]) -> None:
+        """Queue a whole admitted wave at once.
+
+        Semantically identical to pushing each request in order; queue
+        implementations override this to batch the bookkeeping (the WFQ
+        queue computes the wave's finish tags vectorized and restores the
+        heap invariant once instead of per push).
+        """
+        self.extend(requests)
 
     def requeue(self, batch: Sequence["Request"]) -> None:
         raise NotImplementedError
@@ -246,6 +259,62 @@ class WFQDispatchQueue(DispatchQueue):
         self._last_finish[request.tenant] = finish
         heapq.heappush(self._heap, (finish, self._seq, start, request))
         self._seq += 1
+
+    def push_wave(self, requests: Sequence["Request"]) -> None:
+        """Push a whole admitted wave with one tag pass per tenant.
+
+        Within one wave a tenant's finish tags follow the pure recurrence
+        ``f_j = f_{j-1} + 1/weight`` seeded at ``max(vtime, last_finish)``
+        (``vtime`` only moves on dispatch), so the wave's tags per tenant
+        are one scalar seed plus a ``cumsum`` — the same left-fold float
+        adds :meth:`push` performs, hence bit-identical tags.  Sequence
+        numbers are assigned in wave order across tenants, and the heap
+        invariant is restored once (heapify) when that is cheaper than
+        per-entry pushes; pop order is unaffected either way because
+        ``(finish, seq)`` keys are unique.
+        """
+        n = len(requests)
+        if n < 16:
+            for r in requests:
+                self.push(r)
+            return
+        groups: Dict[Optional[str], List[int]] = {}
+        for j, r in enumerate(requests):
+            group = groups.get(r.tenant)
+            if group is None:
+                groups[r.tenant] = [j]
+            else:
+                group.append(j)
+        seq0 = self._seq
+        vtime = self._vtime
+        heap = self._heap
+        entries: List[Tuple[float, int, float, "Request"]] = []
+        for tenant, positions in groups.items():
+            k = len(positions)
+            inv = 1.0 / self._weights.get(tenant, 1.0)
+            s0 = max(vtime, self._last_finish.get(tenant, 0.0))
+            incs = np.full(k, inv)
+            incs[0] = s0 + inv
+            finishes = np.cumsum(incs)
+            starts = np.empty(k)
+            starts[0] = s0
+            if k > 1:
+                np.maximum(vtime, finishes[:-1], out=starts[1:])
+            self._last_finish[tenant] = float(finishes[-1])
+            entries.extend(
+                zip(finishes.tolist(),
+                    (seq0 + j for j in positions),
+                    starts.tolist(),
+                    (requests[j] for j in positions)))
+        self._seq = seq0 + n
+        # Pick the cheaper way to restore the heap invariant; the popped
+        # order is identical either way (all keys are distinct).
+        if 2 * (len(heap) + n) < n * max(1.0, math.log2(len(heap) + n)):
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            for entry in entries:
+                heapq.heappush(heap, entry)
 
     def requeue(self, batch: Sequence["Request"]) -> None:
         for r in reversed(batch):

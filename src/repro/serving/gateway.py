@@ -34,6 +34,7 @@ to the plain router.
 from __future__ import annotations
 
 import dataclasses
+import json
 from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -51,11 +52,11 @@ from repro.serving.batcher import (
     MicroBatchPolicy,
     WFQDispatchQueue,
 )
-from repro.serving.generators import RequestSource, _ExampleBank
+from repro.serving.generators import ArrivalWave, RequestSource, _ExampleBank
 from repro.serving.request import Request, RequestRecord
-from repro.serving.router import RequestRouter, ServingReport
+from repro.serving.router import _WAVE_MIN, RequestRouter, ServingReport
 from repro.serving.tenancy import TenantRegistry, TenantSpec
-from repro.telemetry import percentile
+from repro.telemetry import StreamingHistogram, percentile
 from repro.utils.seeding import derive_seed
 
 __all__ = ["MultiTenantPoissonSource", "ServingGateway", "TenantTaggingSource",
@@ -81,6 +82,19 @@ class TenantTaggingSource(RequestSource):
     def take_arrivals(self, until: float) -> List[Request]:
         return [dataclasses.replace(r, tenant=self._tenant)
                 for r in self._inner.take_arrivals(until)]
+
+    def take_wave(self, until: float) -> Optional[ArrivalWave]:
+        # Retag the inner wave in place instead of wrapping every request:
+        # one table entry covers the whole wave.  Subclasses that changed
+        # arrival semantics fall back to the per-request pull.
+        if type(self).take_arrivals is not TenantTaggingSource.take_arrivals:
+            return None
+        wave = self._inner.take_wave(until)
+        if wave is None:
+            return None
+        wave.tenant_idx = None
+        wave.tenant_table = (self._tenant,)
+        return wave
 
     def on_completion(self, records: Sequence[RequestRecord]) -> None:
         self._inner.on_completion(records)
@@ -119,10 +133,13 @@ class MultiTenantPoissonSource(RequestSource):
         # order so two tenants' coincident arrivals merge deterministically.
         order = np.lexsort((idx, times))
         self._times = times[order]
-        self._tenants = [tenant_ids[k] for k in idx[order]]
+        self._tenant_idx = np.ascontiguousarray(idx[order])
         if limit is not None and len(self._times) > limit:
             self._times = self._times[:limit]
-            self._tenants = self._tenants[:limit]
+            self._tenant_idx = self._tenant_idx[:limit]
+        # The merged stream carries tenant *indices*; the table maps them
+        # back to ids, so no per-request string list is ever built.
+        self._tenant_table = tenant_ids
         self._bank = _ExampleBank(examples)
         self._next = 0
 
@@ -140,13 +157,31 @@ class MultiTenantPoissonSource(RequestSource):
         if end <= self._next:
             return []
         bank = self._bank
+        table = self._tenant_table
+        idx = self._tenant_idx
         out = [Request(request_id=i, arrival_time=t,
                        example=bank.next_example(),
-                       tenant=self._tenants[i])
+                       tenant=table[idx[i]])
                for i, t in enumerate(
                    self._times[self._next:end].tolist(), start=self._next)]
         self._next = end
         return out
+
+    def take_wave(self, until: float) -> Optional[ArrivalWave]:
+        if (type(self).take_arrivals
+                is not MultiTenantPoissonSource.take_arrivals):
+            return None
+        end = int(np.searchsorted(self._times, until, side="right"))
+        start = self._next
+        if end <= start:
+            return None
+        wave = ArrivalWave(times=self._times[start:end], first_id=start,
+                           bank=self._bank, first_cursor=self._bank.cursor,
+                           tenant_idx=self._tenant_idx[start:end],
+                           tenant_table=self._tenant_table)
+        self._next = end
+        self._bank.advance(end - start)
+        return wave
 
 
 def _tenant_digest(spec: TenantSpec, latencies: Sequence[float],
@@ -226,7 +261,8 @@ class ServingGateway(RequestRouter):
                  name: str = "gateway",
                  admission: Optional[AdmissionPolicy] = None,
                  dispatcher: str = "wfq",
-                 journal: Optional[Union[str, EventTrace]] = None) -> None:
+                 journal: Optional[Union[str, EventTrace]] = None,
+                 admission_mode: Optional[str] = None) -> None:
         if dispatcher not in DISPATCHERS:
             raise ValueError(
                 f"dispatcher must be one of {DISPATCHERS}, got {dispatcher!r}")
@@ -234,7 +270,8 @@ class ServingGateway(RequestRouter):
                  else FifoDispatchQueue())
         super().__init__(inference, source, policy=policy, pool=pool,
                          autoscaler=autoscaler, collect_logits=collect_logits,
-                         name=name, admission=admission, dispatch_queue=queue)
+                         name=name, admission=admission, dispatch_queue=queue,
+                         admission_mode=admission_mode)
         self.registry = registry
         self.dispatcher = dispatcher
         self._journal_dest = journal
@@ -242,6 +279,38 @@ class ServingGateway(RequestRouter):
         self._journal_owned = False
         self._journal_seq = 0
         self._buckets = registry.buckets()
+        self._premium = {spec.tenant_id: spec.premium for spec in registry}
+        # Cached json.dumps of tenant ids (and None): the journal fast path
+        # re-serializes each tenant string once per run, not once per line.
+        self._tenant_json: Dict[Optional[str], str] = {}
+        self._actor_json = json.dumps(name)
+        # (reason, tenant) -> the constant shed-line fragments around the
+        # per-line request id / seq / time — one f-string per journal line.
+        self._shed_fragments: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        self._reset_tenant_accounting()
+
+    def _reset_tenant_accounting(self) -> None:
+        """Fresh incremental per-tenant accumulators for one run.
+
+        The report's per-tenant digests are built from these at finalize —
+        :func:`tenant_report` is never called during a live run (the audit
+        replay still goes through it), so completion-time accounting is
+        append-only instead of rebuilding per-tenant lists on each call.
+        """
+        self._lat_by_tenant: Dict[str, List[float]] = {
+            t: [] for t in self.registry.tenant_ids}
+        self._shed_counts: Counter = Counter()
+        self._tenant_hists: Dict[str, StreamingHistogram] = {
+            t: StreamingHistogram() for t in self.registry.tenant_ids}
+
+    def live_tenant_histograms(self) -> Dict[str, StreamingHistogram]:
+        """Per-tenant streaming latency histograms, updated per batch.
+
+        An O(bins) live view of each tenant's latency distribution —
+        dashboards can poll quantiles mid-run without touching the exact
+        per-request lists the final report is computed from.
+        """
+        return dict(self._tenant_hists)
 
     # -- the journal ----------------------------------------------------------
 
@@ -295,6 +364,7 @@ class ServingGateway(RequestRouter):
         still leaves every completed request auditable.
         """
         self._buckets = self.registry.buckets()
+        self._reset_tenant_accounting()
         self._open_journal()
         try:
             return super().run(trace=trace, queue_backend=queue_backend)
@@ -316,7 +386,15 @@ class ServingGateway(RequestRouter):
         scheduler (and the depth threshold) can act on it.  With a single
         tenant the pulled requests dispatch in arrival order either way, so
         the golden traces stay bit-identical.
+
+        Wave mode pulls the whole range in one call: the reference loop's
+        per-timestamp pulls see exactly the same admission state as one
+        pull over the concatenation, because nothing between two pulls of
+        the same ``_admit`` call can change it (no event fires in between).
         """
+        if self.admission_mode == "wave":
+            self._pull(until)
+            return
         while True:
             nxt = self.source.next_arrival_time()
             if nxt is None or nxt > until:
@@ -355,11 +433,154 @@ class ServingGateway(RequestRouter):
                 wait_limit = wait_limit / 2
         return self._shed_reason(request, depth_limit, wait_limit)
 
+    def _enqueue_wave(self, wave: ArrivalWave) -> int:
+        """Tenant-aware wave admission: the gateway's batched fast path.
+
+        Replays per-request :meth:`_should_shed` decision-for-decision:
+        every arrival is metered on its tenant's token bucket (grouped by
+        tenant — each bucket still sees its own arrivals in order, so the
+        quota state is bit-identical), premium-within-quota arrivals bypass
+        the thresholds, and everyone else faces the (possibly
+        brownout-halved) depth/wait limits against a queue depth tracked
+        exactly as the reference loop grows it.  Shed arrivals are never
+        materialized as :class:`Request` objects.
+        """
+        n = len(wave)
+        if self.admission is None or n < _WAVE_MIN:
+            return super()._enqueue_wave(wave)
+        policy = self.admission
+        times = wave.times
+        idx = wave.tenant_idx
+        table = wave.tenant_table
+        is_premium = self._premium
+        buckets = self._buckets
+        # Meter + classify: ``bypass`` marks premium-within-quota arrivals,
+        # ``prem`` marks premium-class arrivals (bypass or not — they keep
+        # the full thresholds under brownout).
+        bypass = np.zeros(n, dtype=bool)
+        prem = np.zeros(n, dtype=bool)
+        for k, tenant in enumerate(table):
+            if idx is None:
+                if k > 0:
+                    break
+                mask = None
+            else:
+                mask = idx == k
+                if not mask.any():
+                    continue
+            bucket = buckets.get(tenant)
+            grants = None
+            if bucket is not None:
+                grants = bucket.take_many(times if mask is None
+                                          else times[mask])
+            if is_premium.get(tenant, False):
+                if mask is None:
+                    prem[:] = True
+                    bypass = (grants if grants is not None
+                              else np.ones(n, dtype=bool))
+                else:
+                    prem[mask] = True
+                    bypass[mask] = True if grants is None else grants
+
+        depth_limit = policy.max_queue_depth
+        wait_limit = policy.max_estimated_wait
+        brown = self._brownout_active()
+        be_depth, be_wait = depth_limit, wait_limit  # non-premium limits
+        if brown:
+            if depth_limit is not None:
+                be_depth = max(1, depth_limit // 2)
+            if wait_limit is not None:
+                be_wait = wait_limit / 2
+
+        admitted: List[Request] = []
+        shed_t: List[float] = []
+        shed_id: List[int] = []
+        shed_tenant: List[Optional[str]] = []
+        shed_reason: List[str] = []
+        first_id = wave.first_id
+        t_list = times.tolist()
+        wait_active = (wait_limit is not None
+                       and self._service_estimate > 0)
+        if not wait_active and (not brown or depth_limit is None):
+            # Depth-only, one shared limit: within a wave the queue never
+            # drains and admits only grow it, so a non-bypass arrival at
+            # wave offset j admits iff j < depth_limit - len(pending)
+            # (an earlier shed forces every later non-bypass shed too).
+            if depth_limit is None:
+                admit = None
+            else:
+                admit = bypass | (np.arange(n)
+                                  < depth_limit - len(self._pending))
+            if admit is None:
+                admitted = [wave.build_request(j, t)
+                            for j, t in enumerate(t_list)]
+            else:
+                admitted = [wave.build_request(j, t_list[j])
+                            for j in np.nonzero(admit)[0].tolist()]
+                shed_off = np.nonzero(~admit)[0]
+                if len(shed_off):
+                    shed_t = times[shed_off].tolist()
+                    shed_id = (first_id + shed_off).tolist()
+                    if idx is None:
+                        shed_tenant = [table[0]] * len(shed_off)
+                    else:
+                        shed_tenant = [table[k]
+                                       for k in idx[shed_off].tolist()]
+                    shed_reason = ["depth"] * len(shed_off)
+        else:
+            # Wait gate or brownout split: tight scalar replay over plain
+            # floats — still no Request objects for shed arrivals.
+            bypass_l = bypass.tolist()
+            prem_l = prem.tolist()
+            idx_l = None if idx is None else idx.tolist()
+            depth = len(self._pending)
+            max_batch = self._policy_now().max_batch
+            server_free = self._server_free
+            estimate = self._service_estimate
+            for j, t in enumerate(t_list):
+                if bypass_l[j]:
+                    admitted.append(wave.build_request(j, t))
+                    depth += 1
+                    continue
+                if prem_l[j]:
+                    dl, wl = depth_limit, wait_limit
+                else:
+                    dl, wl = be_depth, be_wait
+                reason = None
+                if dl is not None and depth >= dl:
+                    reason = "depth"
+                elif wl is not None and estimate > 0:
+                    backlog = max(0.0, server_free - t)
+                    if backlog + (depth // max_batch + 1) * estimate > wl:
+                        reason = "wait"
+                if reason is None:
+                    admitted.append(wave.build_request(j, t))
+                    depth += 1
+                else:
+                    shed_t.append(t)
+                    shed_id.append(first_id + j)
+                    shed_tenant.append(table[0] if idx_l is None
+                                       else table[idx_l[j]])
+                    shed_reason.append(reason)
+        if admitted:
+            self._pending.push_wave(admitted)
+        if shed_id:
+            self._record_shed_wave(shed_t, shed_id, shed_tenant, shed_reason)
+        return len(shed_id)
+
     # -- accounting hooks -----------------------------------------------------
+
+    def _tenant_json_of(self, tenant: Optional[str]) -> str:
+        cached = self._tenant_json.get(tenant)
+        if cached is None:
+            cached = json.dumps(tenant)  # json.dumps(None) == 'null'
+            self._tenant_json[tenant] = cached
+        return cached
 
     def _record_shed(self, request: Request, reason: str) -> None:
         super()._record_shed(request, reason)
         tenant = request.tenant if request.tenant is not None else ""
+        self._shed_counts[tenant] += 1
         self.report.tenant_shed.append(
             (request.arrival_time, request.request_id, tenant, reason))
         self._journal_emit("shed", request.arrival_time, {
@@ -368,23 +589,86 @@ class ServingGateway(RequestRouter):
             "reason": reason,
         })
 
+    def _record_shed_wave(self, times: Sequence[float], ids: Sequence[int],
+                          tenants: Sequence[Optional[str]],
+                          reasons: Sequence[str]) -> None:
+        super()._record_shed_wave(times, ids, tenants, reasons)
+        tenants = [t if t is not None else "" for t in tenants]
+        self.report.tenant_shed.extend(zip(times, ids, tenants, reasons))
+        self._shed_counts.update(tenants)
+        journal = self._journal
+        if journal is None:
+            return
+        # Assemble each complete journal line in one f-string from cached
+        # constant fragments: key order inside data is reason < request_id
+        # < tenant and the envelope is actor < data < kind < seq < t, so
+        # every line is byte-identical to per-event emit() with
+        # json.dumps(sort_keys=True).
+        fragments = self._shed_fragments
+        for key in set(zip(reasons, tenants)):
+            if key not in fragments:
+                reason, tenant = key
+                fragments[key] = (
+                    f'{{"actor": {self._actor_json}, "data": '
+                    f'{{"reason": "{reason}", "request_id": ',
+                    f', "tenant": {self._tenant_json_of(tenant)}}}, '
+                    f'"kind": "shed", "seq": ')
+        seq = self._journal_seq
+        self._journal_seq = seq + len(ids)
+        lines: List[str] = []
+        append = lines.append
+        for t, i, tenant, reason in zip(times, ids, tenants, reasons):
+            pre, mid = fragments[reason, tenant]
+            append(f'{pre}{i}{mid}{seq}, "t": {t!r}}}\n')
+            seq += 1
+        journal.emit_many_lines(lines)
+
     def _record_completion(self, records: List[RequestRecord]) -> None:
+        # Incremental per-tenant accounting: append-only latency lists (the
+        # finalize digests read these — no per-call rebuild) plus a live
+        # streaming histogram per tenant.
+        lat_map = self._lat_by_tenant
+        batch_lat: Dict[str, List[float]] = {}
         for r in records:
-            self._journal_emit("request", r.completion_time, {
-                "request_id": r.request_id,
-                "tenant": r.tenant,
-                "arrival": r.arrival_time,
-                "dispatch": r.dispatch_time,
-                "completion": r.completion_time,
-                "batch_id": r.batch_id,
-            })
+            lst = lat_map.get(r.tenant)
+            if lst is not None:
+                latency = r.completion_time - r.arrival_time
+                lst.append(latency)
+                batch_lat.setdefault(r.tenant, []).append(latency)
+        for tenant, values in batch_lat.items():
+            self._tenant_hists[tenant].observe_many(values)
+        if self._journal is None:
+            return
+        # Sorted key order: arrival < batch_id < completion < dispatch <
+        # request_id < tenant.
+        data = [
+            f'{{"arrival": {r.arrival_time!r}, "batch_id": {r.batch_id}, '
+            f'"completion": {r.completion_time!r}, '
+            f'"dispatch": {r.dispatch_time!r}, '
+            f'"request_id": {r.request_id}, '
+            f'"tenant": {self._tenant_json_of(r.tenant)}}}'
+            for r in records
+        ]
+        seq0 = self._journal_seq
+        self._journal_seq = seq0 + len(data)
+        self._journal.emit_many_data(
+            [r.completion_time for r in records],
+            range(seq0, seq0 + len(data)), "request", self.name, data)
 
     def _finalize(self) -> None:
         super()._finalize()
-        self.report.tenants = tenant_report(
-            self.registry,
-            [(r.tenant, r.latency) for r in self.report.records],
-            [tenant for _, _, tenant, _ in self.report.tenant_shed])
+        # Digests come straight from the incremental accumulators:
+        # bit-identical to tenant_report over the full record list (same
+        # latencies, appended in the same completion order), without
+        # rebuilding per-tenant lists — tenant_report itself is reserved
+        # for the offline audit replay.
+        shed_counts = self._shed_counts
+        self.report.tenants = {
+            spec.tenant_id: _tenant_digest(
+                spec, self._lat_by_tenant[spec.tenant_id],
+                shed_counts.get(spec.tenant_id, 0))
+            for spec in self.registry
+        }
         self._journal_emit("summary", self.report.duration, {
             "tenants": self.report.tenants,
             "requests": len(self.report.records),

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -30,9 +31,50 @@ from repro.elastic.trace import ServingPhase, serving_arrival_times
 from repro.serving.request import Request, RequestRecord
 from repro.utils.seeding import derive_rng
 
-__all__ = ["RequestSource", "OpenLoopPoissonSource", "ClosedLoopSource"]
+__all__ = ["ArrivalWave", "RequestSource", "OpenLoopPoissonSource",
+           "ClosedLoopSource"]
 
 _CLOSED_LOOP_DOMAIN = 0x7C
+
+
+@dataclass
+class ArrivalWave:
+    """One admission wave as parallel arrays — no per-request objects.
+
+    The batched admission path consumes arrivals the way the event core
+    consumes event runs: ``times`` is the ascending arrival-time array,
+    request ids are ``first_id + j``, and the payload row for wave offset
+    ``j`` is ``bank.row(first_cursor + j)`` — materialized only for the
+    requests that survive admission, which is the whole point: a shed
+    arrival never becomes a :class:`Request`.
+
+    ``tenant_idx``/``tenant_table`` carry tenancy without per-request
+    strings: offset ``j`` belongs to ``tenant_table[tenant_idx[j]]``.
+    ``tenant_idx=None`` means every request in the wave belongs to
+    ``tenant_table[0]`` (single-stream sources use ``[None]``).
+    """
+
+    times: np.ndarray
+    first_id: int
+    bank: "_ExampleBank"
+    first_cursor: int
+    tenant_idx: Optional[np.ndarray] = None
+    tenant_table: Sequence[Optional[str]] = (None,)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def tenant_of(self, offset: int) -> Optional[str]:
+        if self.tenant_idx is None:
+            return self.tenant_table[0]
+        return self.tenant_table[int(self.tenant_idx[offset])]
+
+    def build_request(self, offset: int, arrival: float) -> Request:
+        """Materialize one admitted request (reference for the fast path)."""
+        return Request(request_id=self.first_id + offset,
+                       arrival_time=arrival,
+                       example=self.bank.row(self.first_cursor + offset),
+                       tenant=self.tenant_of(offset))
 
 
 class RequestSource(ABC):
@@ -52,6 +94,18 @@ class RequestSource(ABC):
     def take_arrivals(self, until: float) -> List[Request]:
         """Pop every request arriving at or before ``until``, in order."""
 
+    def take_wave(self, until: float) -> Optional[ArrivalWave]:
+        """Pop every request at or before ``until`` as an array wave.
+
+        Returns ``None`` when the source cannot serve waves (closed-loop
+        populations, or a subclass that customized :meth:`take_arrivals`)
+        — the router then falls back to the per-request pull, so a wave-
+        incapable source never silently changes semantics.  A returned
+        wave consumes exactly the arrivals (and example-bank rows) the
+        equivalent :meth:`take_arrivals` call would have.
+        """
+        return None
+
     def on_completion(self, records: Sequence[RequestRecord]) -> None:
         """Hook: a micro-batch completed (closed-loop sources react here)."""
 
@@ -69,6 +123,18 @@ class _ExampleBank:
         row = self._examples[self._cursor % len(self._examples)]
         self._cursor += 1
         return row
+
+    @property
+    def cursor(self) -> int:
+        return self._cursor
+
+    def row(self, position: int) -> np.ndarray:
+        """The row ``next_example`` returns at absolute ``position``."""
+        return self._examples[position % len(self._examples)]
+
+    def advance(self, n: int) -> None:
+        """Consume ``n`` rows in bulk (the wave path's cursor bump)."""
+        self._cursor += n
 
 
 class OpenLoopPoissonSource(RequestSource):
@@ -104,6 +170,19 @@ class OpenLoopPoissonSource(RequestSource):
                    self._times[self._next:end].tolist(), start=self._next)]
         self._next = end
         return out
+
+    def take_wave(self, until: float) -> Optional[ArrivalWave]:
+        if type(self).take_arrivals is not OpenLoopPoissonSource.take_arrivals:
+            return None  # a subclass re-defined arrival semantics
+        end = int(np.searchsorted(self._times, until, side="right"))
+        start = self._next
+        if end <= start:
+            return None
+        wave = ArrivalWave(times=self._times[start:end], first_id=start,
+                           bank=self._bank, first_cursor=self._bank.cursor)
+        self._next = end
+        self._bank.advance(end - start)
+        return wave
 
 
 class ClosedLoopSource(RequestSource):

@@ -76,12 +76,45 @@ from repro.serving.batcher import (
     FifoDispatchQueue,
     MicroBatchPolicy,
 )
-from repro.serving.generators import OpenLoopPoissonSource, RequestSource
+from repro.serving.generators import (
+    ArrivalWave,
+    OpenLoopPoissonSource,
+    RequestSource,
+)
 from repro.serving.request import BatchRecord, Request, RequestRecord
 from repro.telemetry import percentile
 
-__all__ = ["RequestRouter", "ServingReport", "capacity_table",
-           "ladder_capacity", "serve_workload"]
+__all__ = ["ADMISSION_MODES", "RequestRouter", "ServingReport",
+           "capacity_table", "get_default_admission_mode", "ladder_capacity",
+           "serve_workload", "set_default_admission_mode"]
+
+# How arrivals move from the source into the dispatch queue.  ``"wave"``
+# consumes whole :class:`ArrivalWave` arrays with vectorized shed
+# predicates; ``"per_request"`` is the original one-request-at-a-time
+# loop, retained as the reference oracle the way the heap index backs the
+# calendar queue.  Both orders are bit-identical by construction — the
+# golden-trace suite sweeps the flag to prove it.
+ADMISSION_MODES = ("wave", "per_request")
+
+_default_admission_mode = "wave"
+
+# Below this many arrivals a wave takes the reference per-request path:
+# numpy setup costs more than it saves, and routing tiny waves through
+# the oracle keeps the fast path exercised only where it pays.
+_WAVE_MIN = 32
+
+
+def set_default_admission_mode(mode: str) -> None:
+    """Set the process-wide default admission path (see ADMISSION_MODES)."""
+    global _default_admission_mode
+    if mode not in ADMISSION_MODES:
+        raise ValueError(f"unknown admission mode {mode!r}; "
+                         f"choose from {ADMISSION_MODES}")
+    _default_admission_mode = mode
+
+
+def get_default_admission_mode() -> str:
+    return _default_admission_mode
 
 
 def capacity_table(workload: Workload, vn_set: VirtualNodeSet, pool: Cluster,
@@ -299,9 +332,16 @@ class RequestRouter:
                  collect_logits: bool = False,
                  name: str = "router",
                  admission: Optional[AdmissionPolicy] = None,
-                 dispatch_queue: Optional[DispatchQueue] = None) -> None:
+                 dispatch_queue: Optional[DispatchQueue] = None,
+                 admission_mode: Optional[str] = None) -> None:
         if autoscaler is not None and pool is None:
             raise ValueError("autoscaling needs a device pool to draw from")
+        if admission_mode is None:
+            admission_mode = _default_admission_mode
+        if admission_mode not in ADMISSION_MODES:
+            raise ValueError(f"unknown admission mode {admission_mode!r}; "
+                             f"choose from {ADMISSION_MODES}")
+        self.admission_mode = admission_mode
         self.inference = inference
         self.source = source
         self.policy = policy
@@ -333,9 +373,11 @@ class RequestRouter:
         self._retry_delay = 0.05
         self._restore_target: Optional[int] = None
         self._halted = False
-        self._admit_event = None
-        self._dispatch_event = None
-        self._inflight: Optional[Tuple[object, List[Request], int, float]] = None
+        # Head-of-chain events are raw integer handles from Runtime.post —
+        # the batched path posts straight into the slab, no Event facades.
+        self._admit_handle: Optional[int] = None
+        self._dispatch_handle: Optional[int] = None
+        self._inflight: Optional[Tuple[int, List[Request], int, float]] = None
         # Last observed batch service time — the deterministic basis for the
         # admission controller's wait estimate (0.0 until a batch completes,
         # so a cold router never wait-sheds).
@@ -459,8 +501,8 @@ class RequestRouter:
         self._server_free = 0.0
         self._batch_id = 0
         self._halted = False
-        self._admit_event = None
-        self._dispatch_event = None
+        self._admit_handle = None
+        self._dispatch_handle = None
         self._inflight = None
         self._service_estimate = 0.0
         self._runtime = None  # force start() to rebind a fresh pool/lease
@@ -483,7 +525,7 @@ class RequestRouter:
         # busy past the arrival); the admission cutoff stays the arrival
         # time itself so the batch decision sees exactly the same queue.
         wake = max(nxt, self._runtime.now)
-        self._admit_event = self._runtime.at(
+        self._admit_handle = self._runtime.post(
             wake, lambda t, cutoff=nxt: self._on_admit(t, cutoff),
             kind="admit", actor=self.name)
 
@@ -540,6 +582,13 @@ class RequestRouter:
         self.report.shed.append(
             (request.arrival_time, request.request_id, reason))
 
+    def _record_shed_wave(self, times: Sequence[float], ids: Sequence[int],
+                          tenants: Sequence[Optional[str]],
+                          reasons: Sequence[str]) -> None:
+        """Account a wave's shed arrivals in bulk (same tuples, same order
+        as per-request :meth:`_record_shed` calls would have appended)."""
+        self.report.shed.extend(zip(times, ids, reasons))
+
     def _enqueue(self, requests: Sequence[Request]) -> int:
         """Queue new arrivals through the admission controller; returns how
         many were shed.  Crash-requeued requests never pass through here —
@@ -557,9 +606,85 @@ class RequestRouter:
                 shed += 1
         return shed
 
+    def _enqueue_wave(self, wave: ArrivalWave) -> int:
+        """Admit one arrival wave; returns how many arrivals were shed.
+
+        Bit-identical to materializing the wave and feeding it through
+        :meth:`_enqueue`: the admission state (queue depth, server backlog,
+        service estimate, brownout policy) is frozen for the duration of a
+        single admission pull in the reference loop too — nothing inside
+        the loop changes it except the queue depth, which is tracked
+        exactly.  The payoff is that a shed arrival never becomes a
+        :class:`Request` object at all.
+        """
+        n = len(wave)
+        if self.admission is None:
+            times = wave.times.tolist()
+            self._pending.push_wave(
+                [wave.build_request(j, t) for j, t in enumerate(times)])
+            return 0
+        if n < _WAVE_MIN:
+            times = wave.times.tolist()
+            return self._enqueue(
+                [wave.build_request(j, t) for j, t in enumerate(times)])
+        policy = self.admission
+        depth_limit = policy.max_queue_depth
+        wait_limit = policy.max_estimated_wait
+        times = wave.times.tolist()
+        depth = len(self._pending)
+        admitted: List[Request] = []
+        shed_t: List[float] = []
+        shed_id: List[int] = []
+        shed_reason: List[str] = []
+        first_id = wave.first_id
+        if wait_limit is None or self._service_estimate <= 0:
+            # Depth-only: within one wave the queue never drains, so the
+            # first ``k`` arrivals admit and everything after sheds.
+            k = n if depth_limit is None else max(0, depth_limit - depth)
+            admitted = [wave.build_request(j, times[j])
+                        for j in range(min(k, n))]
+            if k < n:
+                shed_t = times[k:]
+                shed_id = list(range(first_id + k, first_id + n))
+                shed_reason = ["depth"] * (n - k)
+        else:
+            max_batch = self._policy_now().max_batch
+            server_free = self._server_free
+            estimate = self._service_estimate
+            for j, t in enumerate(times):
+                if depth_limit is not None and depth >= depth_limit:
+                    shed_t.append(t)
+                    shed_id.append(first_id + j)
+                    shed_reason.append("depth")
+                    continue
+                backlog = max(0.0, server_free - t)
+                if backlog + (depth // max_batch + 1) * estimate > wait_limit:
+                    shed_t.append(t)
+                    shed_id.append(first_id + j)
+                    shed_reason.append("wait")
+                    continue
+                admitted.append(wave.build_request(j, t))
+                depth += 1
+        if admitted:
+            self._pending.push_wave(admitted)
+        if shed_id:
+            self._record_shed_wave(
+                shed_t, shed_id,
+                [wave.tenant_of(i - first_id) for i in shed_id], shed_reason)
+        return len(shed_id)
+
+    def _pull(self, until: float) -> int:
+        """Move every arrival at or before ``until`` into the queue via the
+        configured admission path; returns how many were shed."""
+        if self.admission_mode == "wave":
+            wave = self.source.take_wave(until)
+            if wave is not None:
+                return self._enqueue_wave(wave)
+        return self._enqueue(self.source.take_arrivals(until))
+
     def _on_admit(self, t: float, cutoff: float) -> Dict[str, object]:
-        self._admit_event = None
-        shed = self._enqueue(self.source.take_arrivals(cutoff))
+        self._admit_handle = None
+        shed = self._pull(cutoff)
         if self._pending:
             self._plan()
         elif not self._halted:
@@ -592,12 +717,12 @@ class RequestRouter:
             policy.trigger_time(self._pending.arrival_times()),
             self._server_free, self._runtime.now)
         self._admit(launch)
-        self._dispatch_event = self._runtime.at(
+        self._dispatch_handle = self._runtime.post(
             launch, self._dispatch, kind="dispatch", actor=self.name)
 
     def _dispatch(self, launch: float) -> Dict[str, object]:
         """Coalesce the batch, run it, and post its completion event."""
-        self._dispatch_event = None
+        self._dispatch_handle = None
         policy = self._policy_now()
         if policy is not self.policy:
             self.report.brownout_batches += 1
@@ -612,11 +737,11 @@ class RequestRouter:
         completion = launch + latency
         batch_id = self._batch_id
         self._batch_id += 1
-        event = self._runtime.at(
+        handle = self._runtime.post(
             completion,
             lambda t: self._on_completion(t, batch, batch_id, launch, result),
             kind="complete", actor=self.name)
-        self._inflight = (event, batch, batch_id, launch)
+        self._inflight = (handle, batch, batch_id, launch)
         return {"batch_id": batch_id, "size": len(batch),
                 "devices": self._devices, "waves": result.waves}
 
@@ -692,18 +817,18 @@ class RequestRouter:
         else:
             self._remap_to_lease(now)
         if self._inflight is not None:
-            event, batch, _batch_id, _launch = self._inflight
-            event.cancel()
+            handle, batch, _batch_id, _launch = self._inflight
+            self._runtime.cancel(handle)
             self._inflight = None
             self._pending.requeue(batch)
             requeued = len(batch)
             self._server_free = now  # the crashed pipeline is idle from here
             if not self._halted:
                 self._schedule_retry(now)
-        elif (self._halted and self._dispatch_event is not None
-                and self._dispatch_event.alive):
-            self._dispatch_event.cancel()
-            self._dispatch_event = None
+        elif (self._halted and self._dispatch_handle is not None
+                and self._runtime.alive(self._dispatch_handle)):
+            self._runtime.cancel(self._dispatch_handle)
+            self._dispatch_handle = None
         if self.autoscaler is not None:
             self.autoscaler.on_failure(now)
         self.report.failures.append((now, device_id, requeued))
@@ -761,17 +886,19 @@ class RequestRouter:
         if self._halted:
             return {"halted": True}
         if (self._inflight is not None
-                or (self._dispatch_event is not None
-                    and self._dispatch_event.alive)):
+                or (self._dispatch_handle is not None
+                    and self._runtime.alive(self._dispatch_handle))):
             return {"resumed": False}  # the chain is already live again
         if self._pending:
-            if self._admit_event is not None and self._admit_event.alive:
+            if (self._admit_handle is not None
+                    and self._runtime.alive(self._admit_handle)):
                 # _plan's own admission pulls anything the cancelled admit
                 # event would have; the next _schedule_next re-posts one.
-                self._admit_event.cancel()
-                self._admit_event = None
+                self._runtime.cancel(self._admit_handle)
+                self._admit_handle = None
             self._plan()
-        elif self._admit_event is None or not self._admit_event.alive:
+        elif (self._admit_handle is None
+                or not self._runtime.alive(self._admit_handle)):
             self._schedule_next()
         return {"pending": len(self._pending)}
 
@@ -817,6 +944,7 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
                    tenants: Optional["TenantRegistry"] = None,
                    journal: Optional[Union[str, EventTrace]] = None,
                    dispatcher: str = "wfq",
+                   admission_mode: Optional[str] = None,
                    ) -> ServingReport:
     """Build and run a complete serving session for a registered workload.
 
@@ -888,10 +1016,11 @@ def serve_workload(workload_name: str, phases: Sequence[ServingPhase], *,
         router: RequestRouter = ServingGateway(
             inference, source, tenants, policy=policy, pool=pool,
             autoscaler=autoscaler, collect_logits=collect_logits,
-            admission=admission, dispatcher=dispatcher, journal=journal)
+            admission=admission, dispatcher=dispatcher, journal=journal,
+            admission_mode=admission_mode)
     else:
         router = RequestRouter(
             inference, source, policy=policy, pool=pool,
             autoscaler=autoscaler, collect_logits=collect_logits,
-            admission=admission)
+            admission=admission, admission_mode=admission_mode)
     return router.run(trace=trace, queue_backend=queue_backend)

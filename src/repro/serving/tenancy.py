@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 __all__ = ["SLO_CLASSES", "TenantSpec", "TenantRegistry", "TokenBucket"]
 
 # SLO class -> default p99 objective, seconds.  ``premium`` is the class the
@@ -159,6 +161,47 @@ class TokenBucket:
             self._tokens -= 1.0
             return True
         return False
+
+    def take_many(self, times) -> np.ndarray:
+        """Meter a whole ascending arrival wave in one call.
+
+        Returns a bool array: element ``j`` is what ``take(times[j])``
+        would have returned.  The refill increments are precomputed with
+        one vectorized pass; the clamp/debit recurrence runs as a tight
+        loop over plain floats, performing the *same* IEEE-754 operations
+        in the same order as repeated :meth:`take` calls — so the grants
+        (and the bucket's final state) are bit-identical, not just close.
+        The zero-increment case folds into the same arithmetic: adding
+        ``0.0`` and re-clamping a value already at or below ``burst``
+        returns the identical float, matching ``take``'s ``now > last``
+        skip.
+        """
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        n = len(times)
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        refill = np.empty(n)
+        refill[0] = (float(times[0]) - self._last) * self.rate_rps
+        if n > 1:
+            np.multiply(np.diff(times), self.rate_rps, out=refill[1:])
+        burst = self.burst
+        tokens = self._tokens
+        grants: List[bool] = []
+        append = grants.append
+        for inc in refill.tolist():
+            tokens = tokens + inc
+            if tokens > burst:
+                tokens = burst
+            if tokens >= 1.0:
+                tokens -= 1.0
+                append(True)
+            else:
+                append(False)
+        self._tokens = tokens
+        last = float(times[-1])
+        if last > self._last:
+            self._last = last
+        return np.asarray(grants, dtype=bool)
 
 
 class TenantRegistry:

@@ -210,6 +210,39 @@ def chaos_domain_wipe_recover() -> dict:
         admission=admission, topology=topology))
 
 
+def serve_shed_brownout_wave() -> dict:
+    """The batched shed path: depth caps and brownout inside single waves.
+
+    A premium tenant and a 3x best-effort flood drive ~5000 rps at one
+    serving device, so every admission pull covers dozens of arrivals —
+    large enough for the gateway's vectorized wave admission.  A mid-run
+    straggler window derates the serving device with ``brownout=True``
+    armed: outside the window both classes share one depth cap (the
+    vectorized depth-only fast path), inside it the best-effort cap halves
+    (the scalar split-limit replay), and both regimes shed heavily.  Pinned
+    end to end so the wave path and the per-request reference oracle must
+    replay this timeline bit-identically under both queue backends.
+    """
+    from repro.serving.tenancy import TenantRegistry
+
+    registry = TenantRegistry.from_spec(
+        "prem:class=premium,weight=4,quota=300,share=1;"
+        "flood:class=best_effort,weight=1,share=3")
+    admission = AdmissionPolicy(max_queue_depth=48, max_estimated_wait=None,
+                                brownout=True)
+    plan = FaultPlan.from_events([
+        ChaosEvent(0.25, STRAGGLER_START, 0, factor=0.5),
+        ChaosEvent(0.75, STRAGGLER_END, 0),
+    ], description="golden brownout wave-shed scenario")
+    specs = resident_training_jobs(1, demand_gpus=2)
+    return cosched_to_dict(run_cosched(
+        "mlp_synthetic", [ServingPhase(1.0, 5000.0)], specs,
+        pool_devices=3, max_batch=8, max_wait=0.002,
+        initial_serving=1, autoscale=False,
+        resize_delay=0.25, seed=11, fault_plan=plan,
+        admission=admission, tenants=registry))
+
+
 def serve_tenants_wfq() -> dict:
     """The multi-tenant gateway under overload, pinned end to end.
 
@@ -251,6 +284,7 @@ def capture() -> dict:
         "mlp_synthetic", [ServingPhase(1.0, 300.0)],
         max_batch=8, max_wait=0.002, pool_devices=4, seed=0))
     fixtures["serve_tenants_wfq"] = serve_tenants_wfq()
+    fixtures["serve_shed_brownout_wave"] = serve_shed_brownout_wave()
     fixtures["serve_autoscaled"] = serving_to_dict(serve_workload(
         "mlp_synthetic", spike_phases(400.0, 6.0, 3.0, 1.0),
         max_batch=16, max_wait=0.002, pool_devices=8,

@@ -27,6 +27,7 @@ FIXTURES = (
     "serve_fixed",
     "serve_autoscaled",
     "serve_tenants_wfq",
+    "serve_shed_brownout_wave",
     "cosched_chaos_crash_recover",
     "cosched_domain_wipe_recover",
 )
@@ -37,22 +38,37 @@ def _load(name: str) -> dict:
         return json.load(fh)
 
 
-@pytest.fixture(scope="module", params=["heap", "calendar"])
+@pytest.fixture(scope="module", params=[
+    ("heap", "wave"),
+    ("calendar", "wave"),
+    ("heap", "per_request"),
+    ("calendar", "per_request"),
+], ids=lambda p: f"{p[0]}-{p[1]}")
 def current(request) -> dict:
-    """One capture of every fixture scenario per event-queue backend.
+    """One capture of every fixture scenario per backend × admission mode.
 
-    Running the whole suite under both schedulers is the strongest
-    equivalence statement the repo makes: the calendar queue must fire the
-    exact event order the reference heap does, down to the last float.
+    Running the whole suite under both event-queue schedulers *and* both
+    admission paths is the strongest equivalence statement the repo makes:
+    the calendar queue must fire the exact event order the reference heap
+    does, and the batched wave admission must make the exact decisions the
+    per-request reference oracle does — down to the last float.
     """
     from repro.runtime import get_default_backend, set_default_backend
+    from repro.serving.router import (
+        get_default_admission_mode,
+        set_default_admission_mode,
+    )
 
+    backend, mode = request.param
     prev = get_default_backend()
-    set_default_backend(request.param)
+    prev_mode = get_default_admission_mode()
+    set_default_backend(backend)
+    set_default_admission_mode(mode)
     try:
-        return {"backend": request.param, **capture()}
+        return {"backend": backend, **capture()}
     finally:
         set_default_backend(prev)
+        set_default_admission_mode(prev_mode)
 
 
 @pytest.mark.parametrize("name", FIXTURES)

@@ -227,3 +227,109 @@ class TestMultiTenantPoissonSource:
         with pytest.raises(ValueError, match="no phase trace"):
             MultiTenantPoissonSource(
                 registry, {"a": [ServingPhase(1.0, 100.0)]}, dataset.x_val)
+
+    def test_wave_drain_matches_per_request_drain(self):
+        # Two identical sources, one drained through take_wave and one
+        # through take_arrivals at the same staggered cutoffs, must yield
+        # the same requests — ids, times, tenants, and payload rows.
+        spec = "prem:share=250;flood:share=1000"
+        waves = self._source(spec, 1250.0)
+        oracle = self._source(spec, 1250.0)
+        for until in (0.1, 0.25, 0.25, 0.6, float("inf")):
+            wave = waves.take_wave(until)
+            got = ([] if wave is None else
+                   [wave.build_request(j, t)
+                    for j, t in enumerate(wave.times.tolist())])
+            want = oracle.take_arrivals(until)
+            assert [(r.request_id, r.arrival_time, r.tenant) for r in got] \
+                == [(r.request_id, r.arrival_time, r.tenant) for r in want]
+            for g, w in zip(got, want):
+                assert np.array_equal(g.example, w.example)
+            assert waves.next_arrival_time() == oracle.next_arrival_time()
+
+
+class TestMultiTenantWaveEdgeCases:
+    """The merged wave protocol's corners: coincident cross-tenant
+    arrivals, tenants whose phases produce nothing, and a wave cut exactly
+    at ``until``.  Per-tenant streams are pinned by stubbing the arrival
+    sampler, so the merge logic is tested against known timestamps."""
+
+    def _source(self, monkeypatch, streams, spec="a;b"):
+        import repro.serving.gateway as gateway_module
+        per_tenant = iter(streams)  # consumed in registry order
+
+        def fixed_times(phases, seed=0, limit=None):
+            return np.asarray(next(per_tenant), dtype=float)
+
+        monkeypatch.setattr(gateway_module, "serving_arrival_times",
+                            fixed_times)
+        registry = TenantRegistry.from_spec(spec)
+        workload = get_workload("mlp_synthetic")
+        dataset = make_dataset(workload.dataset, n=64, seed=0)
+        phases = {t: [ServingPhase(1.0, 1.0)] for t in registry.tenant_ids}
+        return MultiTenantPoissonSource(registry, phases, dataset.x_val)
+
+    def test_simultaneous_cross_tenant_arrivals_keep_registry_order(
+            self, monkeypatch):
+        source = self._source(monkeypatch, [[0.1, 0.5], [0.1, 0.3, 0.5]])
+        wave = source.take_wave(float("inf"))
+        merged = [(wave.times[j], wave.tenant_of(j)) for j in range(len(wave))]
+        # Ties at 0.1 and 0.5 break in registry order: a before b.
+        assert merged == [(0.1, "a"), (0.1, "b"), (0.3, "b"),
+                          (0.5, "a"), (0.5, "b")]
+        assert wave.first_id == 0
+        requests = [wave.build_request(j, float(wave.times[j]))
+                    for j in range(len(wave))]
+        assert [r.request_id for r in requests] == list(range(5))
+
+    def test_empty_phase_tenant_contributes_nothing(self, monkeypatch):
+        source = self._source(monkeypatch, [[], [0.1, 0.2, 0.3]])
+        assert source.total_requests == 3
+        wave = source.take_wave(float("inf"))
+        assert [wave.tenant_of(j) for j in range(len(wave))] == ["b"] * 3
+        assert source.take_wave(float("inf")) is None
+
+    def test_wave_straddling_until_exactly(self, monkeypatch):
+        streams = [[0.1, 0.2], [0.2, 0.4]]
+        source = self._source(monkeypatch, streams)
+        # An arrival at exactly ``until`` belongs to this wave, not the next.
+        wave = source.take_wave(0.2)
+        assert wave.times.tolist() == [0.1, 0.2, 0.2]
+        assert [wave.tenant_of(j) for j in range(3)] == ["a", "a", "b"]
+        assert source.next_arrival_time() == 0.4
+        tail = source.take_wave(0.4)
+        assert tail.times.tolist() == [0.4]
+        assert tail.first_id == 3
+        assert source.take_wave(float("inf")) is None
+        # The per-request pull cuts the identical boundary.
+        oracle = self._source(monkeypatch, streams)
+        head = oracle.take_arrivals(0.2)
+        assert [(r.arrival_time, r.tenant) for r in head] \
+            == [(0.1, "a"), (0.2, "a"), (0.2, "b")]
+
+
+class TestIncrementalTenantAccounting:
+    def test_tenant_report_not_rebuilt_during_live_run(self, monkeypatch):
+        # The live gateway keeps per-tenant accounting incrementally;
+        # tenant_report (the full rebuild) is reserved for the offline
+        # audit and must run at most once per serving run.
+        import repro.serving.gateway as gateway_module
+        rebuild = gateway_module.tenant_report
+        calls = {"n": 0}
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return rebuild(*args, **kwargs)
+
+        monkeypatch.setattr(gateway_module, "tenant_report", counting)
+        report = _serve(admission=AdmissionPolicy(max_queue_depth=64,
+                                                  max_estimated_wait=None))
+        assert calls["n"] <= 1, (
+            f"tenant_report rebuilt {calls['n']} times during one run")
+        # ... and the incremental digests match a from-scratch rebuild
+        # bit for bit.
+        assert rebuild(
+            TenantRegistry.from_spec(FLOOD_SPEC),
+            [(r.tenant, r.latency) for r in report.records],
+            [tenant for _, _, tenant, _ in report.tenant_shed],
+        ) == report.tenants
